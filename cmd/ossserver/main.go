@@ -1,0 +1,46 @@
+// Command ossserver runs a standalone object-store server speaking the
+// S3-like dialect of internal/oss, so multiple slimstore processes can
+// share one storage layer (the multi-L-node deployment of the paper's
+// Fig 1).
+//
+// Usage:
+//
+//	ossserver -addr :9000 -dir /var/lib/slimstore-oss
+//	ossserver -addr :9000 -mem        # volatile, for testing
+//
+// Point clients at it with: slimstore -repo http://host:9000 ...
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"slimstore/internal/oss"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":9000", "listen address")
+		dir  = flag.String("dir", "./ossdata", "storage directory")
+		mem  = flag.Bool("mem", false, "keep objects in memory only")
+	)
+	flag.Parse()
+
+	var store oss.Store
+	if *mem {
+		store = oss.NewMem()
+		log.Printf("ossserver: in-memory store")
+	} else {
+		s, err := oss.NewDisk(*dir)
+		if err != nil {
+			log.Fatalf("ossserver: %v", err)
+		}
+		store = s
+		log.Printf("ossserver: serving %s", *dir)
+	}
+	log.Printf("ossserver: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, oss.NewServer(store)); err != nil {
+		log.Fatalf("ossserver: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Command slimstore is the backup/restore CLI over a SLIMSTORE repository.
+//
+// The repository lives on an object store selected with -repo:
+//
+//	-repo dir:/path/to/dir     local directory (default)
+//	-repo http://host:port     remote object-store server (cmd/ossserver)
+//
+// Subcommands:
+//
+//	slimstore backup  -repo dir:/backups -file <local path> [-as <name>]
+//	slimstore restore -repo dir:/backups -name <name> [-version N] -out <path>
+//	slimstore snapshot -repo dir:/backups -dir <directory> -id <name>
+//	slimstore restore-snapshot -repo dir:/backups -id <name> -out <directory>
+//	slimstore snapshots -repo dir:/backups
+//	slimstore verify  -repo dir:/backups -name <name> [-version N]
+//	slimstore list    -repo dir:/backups
+//	slimstore delete  -repo dir:/backups -name <name> -version N
+//	slimstore gc      -repo dir:/backups
+//	slimstore stats   -repo dir:/backups
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"slimstore"
+)
+
+func openSystem(repo string) (*slimstore.System, error) {
+	cfg := slimstore.DefaultConfig()
+	switch {
+	case strings.HasPrefix(repo, "dir:"):
+		return slimstore.OpenDirectory(strings.TrimPrefix(repo, "dir:"), cfg)
+	case strings.HasPrefix(repo, "http://"), strings.HasPrefix(repo, "https://"):
+		return slimstore.OpenHTTP(repo, nil, cfg)
+	case repo == "mem:":
+		return slimstore.OpenMemory(cfg)
+	default:
+		return nil, fmt.Errorf("repo %q: want dir:<path>, http(s)://..., or mem:", repo)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slimstore: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: slimstore <backup|restore|verify|snapshot|restore-snapshot|snapshots|list|delete|gc|stats> [flags]")
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	repo := fs.String("repo", "dir:./slimstore-repo", "repository location")
+
+	switch cmd {
+	case "backup":
+		file := fs.String("file", "", "local file to back up")
+		as := fs.String("as", "", "backup name (defaults to the file path)")
+		fs.Parse(args)
+		if *file == "" {
+			fatalf("backup: -file is required")
+		}
+		name := *as
+		if name == "" {
+			name = *file
+		}
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st, err := sys.Backup(name, data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, _, err := sys.Optimize(st); err != nil {
+			fatalf("optimize: %v", err)
+		}
+		fmt.Printf("backed up %q version %d: %d bytes, %.1f%% duplicates eliminated, %d chunks\n",
+			name, st.Version, st.LogicalBytes, st.DedupRatio()*100, st.NumChunks)
+
+	case "restore":
+		name := fs.String("name", "", "backup name")
+		version := fs.Int("version", -1, "version to restore (-1 = latest)")
+		out := fs.String("out", "", "output path")
+		fs.Parse(args)
+		if *name == "" || *out == "" {
+			fatalf("restore: -name and -out are required")
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		v := *version
+		if v < 0 {
+			vs, err := sys.Versions(*name)
+			if err != nil || len(vs) == 0 {
+				fatalf("no versions of %q", *name)
+			}
+			v = vs[len(vs)-1]
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st, err := sys.Restore(*name, v, f)
+		if err != nil {
+			f.Close()
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("restored %q version %d: %d bytes (%d container reads)\n",
+			*name, v, st.Bytes, st.Cache.ContainersRead)
+
+	case "list":
+		fs.Parse(args)
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files, err := sys.Files()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, f := range files {
+			vs, err := sys.Versions(f)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("%s: versions %v\n", f, vs)
+		}
+
+	case "delete":
+		name := fs.String("name", "", "backup name")
+		version := fs.Int("version", -1, "version to delete")
+		fs.Parse(args)
+		if *name == "" || *version < 0 {
+			fatalf("delete: -name and -version are required")
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		gc, err := sys.DeleteVersion(*name, *version)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("deleted %q version %d: %d containers collected, %d bytes reclaimed\n",
+			*name, *version, gc.ContainersCollected, gc.BytesReclaimed)
+
+	case "snapshot":
+		dir := fs.String("dir", "", "directory to back up")
+		id := fs.String("id", "", "snapshot ID (e.g. a timestamp)")
+		fs.Parse(args)
+		if *dir == "" || *id == "" {
+			fatalf("snapshot: -dir and -id are required")
+		}
+		files := map[string][]byte{}
+		err := filepath.WalkDir(*dir, func(p string, d iofs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(*dir, p)
+			if err != nil {
+				return err
+			}
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			files[filepath.ToSlash(rel)] = b
+			return nil
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(files) == 0 {
+			fatalf("snapshot: %s contains no files", *dir)
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		snap, err := sys.BackupSnapshot(*id, files, 4)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("snapshot %q: %d files, %d bytes\n", snap.ID, len(snap.Members), snap.TotalBytes)
+
+	case "restore-snapshot":
+		id := fs.String("id", "", "snapshot ID")
+		outDir := fs.String("out", "", "output directory")
+		fs.Parse(args)
+		if *id == "" || *outDir == "" {
+			fatalf("restore-snapshot: -id and -out are required")
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var open []io.Closer
+		err = sys.RestoreSnapshot(*id, func(fileID string) (io.Writer, error) {
+			p := filepath.Join(*outDir, filepath.FromSlash(fileID))
+			if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+				return nil, err
+			}
+			f, err := os.Create(p)
+			if err != nil {
+				return nil, err
+			}
+			open = append(open, f)
+			return f, nil
+		})
+		for _, c := range open {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("snapshot %q restored to %s\n", *id, *outDir)
+
+	case "snapshots":
+		fs.Parse(args)
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ids, err := sys.Snapshots()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, id := range ids {
+			snap, err := sys.SnapshotInfo(id)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("%s: %d files, %d bytes\n", snap.ID, len(snap.Members), snap.TotalBytes)
+		}
+
+	case "verify":
+		name := fs.String("name", "", "backup name")
+		version := fs.Int("version", -1, "version to verify (-1 = all)")
+		fs.Parse(args)
+		if *name == "" {
+			fatalf("verify: -name is required")
+		}
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var versions []int
+		if *version >= 0 {
+			versions = []int{*version}
+		} else {
+			versions, err = sys.Versions(*name)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+		for _, v := range versions {
+			st, err := sys.Verify(*name, v)
+			if err != nil {
+				fatalf("verify %q v%d: %v", *name, v, err)
+			}
+			fmt.Printf("verified %q version %d: %d bytes intact\n", *name, v, st.Bytes)
+		}
+
+	case "gc":
+		fs.Parse(args)
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		audit, err := sys.Audit()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("audit: %d containers live, %d swept, %d bytes reclaimed\n",
+			audit.ContainersMarked, audit.ContainersSwept, audit.BytesReclaimed)
+
+	case "stats":
+		fs.Parse(args)
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		u, err := sys.SpaceUsage()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("containers: %d bytes\nrecipes:    %d bytes\nindexes:    %d bytes\ntotal:      %d bytes\n",
+			u.ContainerBytes, u.RecipeBytes, u.IndexBytes, u.TotalBytes)
+
+	default:
+		fatalf("unknown command %q", cmd)
+	}
+}

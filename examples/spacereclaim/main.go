@@ -1,0 +1,80 @@
+// Space reclamation (the paper's Fig 9 in miniature): old backup versions
+// lose value over time, so SLIMSTORE transfers their data into new
+// versions (reverse deduplication + sparse container compaction) and
+// reclaims deleted versions with the mark-during-dedup / sweep-on-delete
+// version collection.
+//
+//	go run ./examples/spacereclaim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slimstore"
+	"slimstore/internal/workload"
+)
+
+func main() {
+	sys, err := slimstore.OpenMemory(slimstore.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := workload.New(workload.SDB(1, 8<<20))
+	fileID := gen.FileIDs()[0]
+	const versions = 12
+	const retain = 5 // keep only the newest 5 versions
+
+	fmt.Println("ver  total space   action")
+	err = gen.VersionSeq(0, func(v int, data []byte) error {
+		if v >= versions {
+			return errStop
+		}
+		st, err := sys.Backup(fileID, data)
+		if err != nil {
+			return err
+		}
+		rd, scc, err := sys.Optimize(st)
+		if err != nil {
+			return err
+		}
+		action := fmt.Sprintf("backup v%d (%d dups reverse-deduped, %d chunks compacted)",
+			v, rd.DuplicatesRemoved, scc.ChunksMoved)
+
+		// Retention window: delete the version that fell out.
+		if v >= retain {
+			gc, err := sys.DeleteVersion(fileID, v-retain)
+			if err != nil {
+				return err
+			}
+			action += fmt.Sprintf("; deleted v%d (%d containers swept, %.1f MiB reclaimed)",
+				v-retain, gc.ContainersCollected, float64(gc.BytesReclaimed)/(1<<20))
+		}
+		u, err := sys.SpaceUsage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%3d  %8.1f MiB  %s\n", v, float64(u.TotalBytes)/(1<<20), action)
+		return nil
+	})
+	if err != nil && err != errStop {
+		log.Fatal(err)
+	}
+
+	// A final audit proves no garbage survived.
+	audit, err := sys.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naudit: %d containers live, %d orphans swept\n",
+		audit.ContainersMarked, audit.ContainersSwept)
+
+	vs, err := sys.Versions(fileID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retained versions: %v\n", vs)
+}
+
+var errStop = fmt.Errorf("stop")

@@ -1,0 +1,3 @@
+module slimstore
+
+go 1.22

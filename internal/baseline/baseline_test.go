@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"slimstore/internal/cache"
+	"slimstore/internal/chunker"
+	"slimstore/internal/oss"
+	"slimstore/internal/simclock"
+)
+
+func genData(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// mutate overwrites a few ranges, keeping most content identical.
+func mutate(data []byte, seed int64, changes int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := append([]byte{}, data...)
+	for i := 0; i < changes; i++ {
+		off := r.Intn(len(out) - 256)
+		r.Read(out[off : off+128])
+	}
+	return out
+}
+
+func params() chunker.Params { return chunker.ParamsForAvg(4 << 10) }
+
+func systems(t *testing.T) []System {
+	t.Helper()
+	costs := simclock.DefaultCosts()
+	silo, err := NewSiLO(oss.NewMem(), costs, params(), 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := NewSparseIndexing(oss.NewMem(), costs, params(), 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	har, err := NewHAR(oss.NewMem(), costs, params(), 256<<10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restic, err := NewRestic(oss.NewMem(), costs, params(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []System{silo, si, har, restic}
+}
+
+func TestBaselinesDedupIncrementalVersions(t *testing.T) {
+	data := genData(1, 4<<20)
+	v1 := mutate(data, 2, 10)
+	for _, sys := range systems(t) {
+		r0, err := sys.Backup("f", data)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if r0.Version != 0 || r0.LogicalBytes != int64(len(data)) {
+			t.Fatalf("%s: v0 result %+v", sys.Name(), r0)
+		}
+		if r0.DuplicateBytes != 0 {
+			t.Fatalf("%s: phantom duplicates on first version", sys.Name())
+		}
+		r1, err := sys.Backup("f", v1)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if r1.Version != 1 {
+			t.Fatalf("%s: version = %d", sys.Name(), r1.Version)
+		}
+		if ratio := r1.DedupRatio(); ratio < 0.8 {
+			t.Errorf("%s: dedup ratio %.3f on a lightly mutated version, want > 0.8",
+				sys.Name(), ratio)
+		}
+		if r1.ThroughputMBps() <= 0 {
+			t.Errorf("%s: non-positive throughput", sys.Name())
+		}
+		// Byte accounting: stored + duplicate == logical (all baselines
+		// store whole chunks, no merging).
+		if r1.StoredBytes+r1.DuplicateBytes != r1.LogicalBytes {
+			t.Errorf("%s: byte accounting off: %d + %d != %d",
+				sys.Name(), r1.StoredBytes, r1.DuplicateBytes, r1.LogicalBytes)
+		}
+	}
+}
+
+func TestHARRewriting(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	store := oss.NewMem()
+	har, err := NewHAR(store, costs, params(), 128<<10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0: big file. v1: keeps thin slices → v0's containers turn sparse.
+	v0 := genData(3, 2<<20)
+	if _, err := har.BackupHAR("f", v0); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	fresh := genData(4, 2<<20)
+	for off := 0; off+(128<<10) <= len(fresh); off += 128 << 10 {
+		v1.Write(fresh[off : off+(128<<10)])
+		src := off % (len(v0) - (32 << 10))
+		v1.Write(v0[src : src+(32<<10)])
+	}
+	r1, err := har.BackupHAR("f", v1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SparseDetected == 0 {
+		t.Fatal("HAR did not detect sparse containers")
+	}
+	// v2 repeats v1: the duplicates living in v1's sparse containers must
+	// now be rewritten.
+	r2, err := har.BackupHAR("f", v1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.RewrittenChunks == 0 {
+		t.Fatalf("HAR rewrote nothing on the version after sparse detection: %+v", r2)
+	}
+
+	// The rewritten layout restores correctly through the OPT cache.
+	seq, err := har.Sequence("f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := simclock.NewAccount()
+	var out bytes.Buffer
+	policy := cache.NewOPT(cache.Config{MemBytes: 4 << 20, LAW: 512})
+	if _, err := policy.Restore(seq, har.Fetcher(acct), func(d []byte) error {
+		out.Write(d)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v1.Bytes()) {
+		t.Fatal("HAR restore corrupt")
+	}
+}
+
+func TestResticRoundTripAndLockAccounting(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	restic, err := NewRestic(oss.NewMem(), costs, chunker.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(5, 8<<20)
+	r0, err := restic.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.NumChunks == 0 {
+		t.Fatal("no chunks")
+	}
+	// ~1 MiB chunks: 8 MiB should produce just a handful.
+	if r0.NumChunks > 40 {
+		t.Fatalf("chunk count %d too high for 1 MiB average", r0.NumChunks)
+	}
+	lockBefore := restic.LockAccount().CPUTime()
+	if lockBefore == 0 {
+		t.Fatal("serialised index time not charged")
+	}
+
+	var out bytes.Buffer
+	rr, err := restic.Restore("f", 0, func(d []byte) error {
+		out.Write(d)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restic restore corrupt")
+	}
+	if rr.Bytes != int64(len(data)) {
+		t.Fatalf("restore bytes = %d", rr.Bytes)
+	}
+	if restic.LockAccount().CPUTime() <= lockBefore {
+		t.Fatal("restore did not charge the serialised index")
+	}
+
+	// Identical second backup dedups everything.
+	r1, err := restic.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DedupRatio() < 0.99 {
+		t.Fatalf("identical backup dedup ratio %.3f", r1.DedupRatio())
+	}
+}
+
+func TestSiLOCrossVersionLocality(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	silo, err := NewSiLO(oss.NewMem(), costs, params(), 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(6, 4<<20)
+	if _, err := silo.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// An identical backup must dedup nearly 100% through block loads.
+	r, err := silo.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DedupRatio() < 0.99 {
+		t.Fatalf("identical SiLO backup dedup ratio %.3f", r.DedupRatio())
+	}
+	if r.Account.IO().Reads == 0 {
+		t.Fatal("SiLO never read a block from OSS")
+	}
+}
+
+func TestSparseIndexingChampions(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	si, err := NewSparseIndexing(oss.NewMem(), costs, params(), 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(7, 4<<20)
+	if _, err := si.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := si.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling-based: near-exact but not guaranteed exact.
+	if r.DedupRatio() < 0.95 {
+		t.Fatalf("identical sparse-indexing backup dedup ratio %.3f", r.DedupRatio())
+	}
+}
+
+func TestConcurrentResticBackups(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	restic, err := NewRestic(oss.NewMem(), costs, chunker.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			data := genData(int64(100+w), 4<<20)
+			_, err := restic.Backup(string(rune('a'+w)), data)
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"sync"
+
+	"slimstore/internal/container"
+)
+
+// Prefetcher implements LAW-based prefetching (paper §V-A): background
+// workers walk the container sequence derived from the recipe and read
+// containers ahead of the restore position, so the restore pipeline finds
+// every container already in memory. With enough workers the prefetch
+// rate exceeds the restore rate and the pipeline never blocks on OSS.
+//
+// Wrap a policy's Fetcher with NewPrefetcher's Fetch. Virtual-time
+// experiments additionally model the I/O overlap with
+// simclock.Account.ElapsedOverlapped(threads).
+//
+// The prefetcher is safe for any consumption order: a request for a
+// container that has not been dispatched yet (the consumer ran ahead of
+// the prefetch window, or skipped containers whose chunks it already had)
+// is fetched directly and its slot cancelled, so the pipeline can never
+// deadlock — at worst it degrades to direct fetching.
+type Prefetcher struct {
+	fetch Fetcher
+
+	mu    sync.Mutex
+	slots map[container.ID]*pfSlot
+
+	jobs chan container.ID
+	sem  chan struct{} // bounds dispatched-but-unconsumed containers
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type pfSlot struct {
+	done       chan struct{}
+	c          *container.Container
+	err        error
+	consumed   bool
+	dispatched bool
+}
+
+// NewPrefetcher starts `threads` workers prefetching the containers of seq
+// in first-need order. buffer bounds how many fetched-but-unconsumed
+// containers may be held (it must be >= 1; it also bounds memory).
+// threads <= 0 disables prefetching (Fetch degenerates to fetch).
+func NewPrefetcher(fetch Fetcher, seq []Request, threads, buffer int) *Prefetcher {
+	p := &Prefetcher{fetch: fetch, slots: make(map[container.ID]*pfSlot), stop: make(chan struct{})}
+	if threads <= 0 {
+		return p
+	}
+	if buffer < threads {
+		buffer = threads
+	}
+	// Unique containers in order of first need.
+	seen := make(map[container.ID]bool)
+	var order []container.ID
+	for i := range seq {
+		id := seq[i].Container
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	}
+	for _, id := range order {
+		p.slots[id] = &pfSlot{done: make(chan struct{})}
+	}
+
+	p.jobs = make(chan container.ID)
+	p.sem = make(chan struct{}, buffer)
+	for w := 0; w < threads; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go func() {
+		defer close(p.jobs)
+		for _, id := range order {
+			// Acquire the buffer slot in dispatch order so an early
+			// container can never be starved of a slot by later ones.
+			select {
+			case p.sem <- struct{}{}:
+			case <-p.stop:
+				return
+			}
+			p.mu.Lock()
+			s := p.slots[id]
+			if s.consumed {
+				// The consumer already fetched it directly; skip.
+				p.mu.Unlock()
+				<-p.sem
+				continue
+			}
+			s.dispatched = true
+			p.mu.Unlock()
+			select {
+			case p.jobs <- id:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+func (p *Prefetcher) worker() {
+	defer p.wg.Done()
+	for id := range p.jobs {
+		p.mu.Lock()
+		s := p.slots[id]
+		p.mu.Unlock()
+		s.c, s.err = p.fetch(id)
+		close(s.done)
+	}
+}
+
+// Fetch returns the container: from its prefetch slot when the slot is
+// dispatched or done, directly otherwise (rereads, or requests that
+// outran the prefetch window).
+func (p *Prefetcher) Fetch(id container.ID) (*container.Container, error) {
+	p.mu.Lock()
+	s := p.slots[id]
+	if s == nil || s.consumed {
+		p.mu.Unlock()
+		return p.fetch(id)
+	}
+	s.consumed = true
+	dispatched := s.dispatched
+	p.mu.Unlock()
+	if !dispatched {
+		// Not in flight yet: fetch directly; the feeder will skip the
+		// consumed slot without spending a buffer token.
+		return p.fetch(id)
+	}
+	<-s.done
+	<-p.sem // free the buffer slot
+	return s.c, s.err
+}
+
+// Close stops the workers; safe to call multiple times.
+func (p *Prefetcher) Close() {
+	select {
+	case <-p.stop:
+		return
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}

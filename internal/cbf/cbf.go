@@ -1,0 +1,171 @@
+// Package cbf provides a standard Bloom filter and a counting Bloom filter.
+//
+// SLIMSTORE uses a counting Bloom filter per restoring file to track how
+// many times each chunk will still be referenced (the full-vision restore
+// cache, paper §V-A), and a plain Bloom filter in front of the global index
+// to filter out unique chunks cheaply during reverse deduplication (§VI-A).
+package cbf
+
+import (
+	"math"
+
+	"slimstore/internal/fingerprint"
+)
+
+// hashes derives k slot indexes for a fingerprint using the Kirsch-
+// Mitzenmacher double-hashing construction over the fingerprint's bytes.
+func hashes(fp fingerprint.FP, k, m int, out []int) []int {
+	h1 := fp.Uint64()
+	// Second independent hash from the trailing bytes.
+	var h2 uint64
+	for i := 8; i < fingerprint.Size; i++ {
+		h2 = h2*131 + uint64(fp[i])
+	}
+	h2 |= 1 // must be odd so all slots are reachable
+	out = out[:0]
+	for i := 0; i < k; i++ {
+		out = append(out, int((h1+uint64(i)*h2)%uint64(m)))
+	}
+	return out
+}
+
+// params picks the optimal bit count and hash count for n items at the
+// given false-positive rate.
+func params(n int, fpRate float64) (m, k int) {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	mm := -float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	kk := mm / float64(n) * math.Ln2
+	m = int(math.Ceil(mm))
+	if m < 64 {
+		m = 64
+	}
+	k = int(math.Round(kk))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return m, k
+}
+
+// Bloom is a fixed-size Bloom filter over chunk fingerprints.
+type Bloom struct {
+	bits []uint64
+	m, k int
+	n    int
+	buf  []int
+}
+
+// NewBloom sizes a filter for n expected items at the given false-positive
+// rate (0 < fpRate < 1).
+func NewBloom(n int, fpRate float64) *Bloom {
+	m, k := params(n, fpRate)
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k, buf: make([]int, 0, k)}
+}
+
+// Add inserts fp.
+func (b *Bloom) Add(fp fingerprint.FP) {
+	for _, i := range hashes(fp, b.k, b.m, b.buf) {
+		b.bits[i/64] |= 1 << uint(i%64)
+	}
+	b.n++
+}
+
+// MayContain reports whether fp may have been added (false positives
+// possible, false negatives impossible).
+func (b *Bloom) MayContain(fp fingerprint.FP) bool {
+	for _, i := range hashes(fp, b.k, b.m, b.buf) {
+		if b.bits[i/64]&(1<<uint(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of Add calls.
+func (b *Bloom) Len() int { return b.n }
+
+// Bits returns the filter size in bits.
+func (b *Bloom) Bits() int { return b.m }
+
+// Reset clears the filter.
+func (b *Bloom) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.n = 0
+}
+
+// Counting is a counting Bloom filter: Add increments k counters, Remove
+// decrements them, and Count lower-bounds by the minimum counter. Counters
+// are 16-bit and saturate rather than overflow.
+type Counting struct {
+	counters []uint16
+	m, k     int
+	n        int
+	buf      []int
+}
+
+// NewCounting sizes a counting filter for n expected items at the given
+// false-positive rate.
+func NewCounting(n int, fpRate float64) *Counting {
+	m, k := params(n, fpRate)
+	return &Counting{counters: make([]uint16, m), m: m, k: k, buf: make([]int, 0, k)}
+}
+
+// Add increments the counters for fp. Multiple Adds of the same fingerprint
+// accumulate, recording reference counts.
+func (c *Counting) Add(fp fingerprint.FP) {
+	for _, i := range hashes(fp, c.k, c.m, c.buf) {
+		if c.counters[i] != math.MaxUint16 {
+			c.counters[i]++
+		}
+	}
+	c.n++
+}
+
+// Remove decrements the counters for fp. Removing a fingerprint that was
+// never added can corrupt other entries, as with any counting Bloom filter;
+// callers must pair Add/Remove.
+func (c *Counting) Remove(fp fingerprint.FP) {
+	for _, i := range hashes(fp, c.k, c.m, c.buf) {
+		if c.counters[i] > 0 && c.counters[i] != math.MaxUint16 {
+			c.counters[i]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// Count returns an upper bound on how many times fp is currently present
+// (the minimum of its counters). Zero means definitely absent.
+func (c *Counting) Count(fp fingerprint.FP) int {
+	min := math.MaxUint16 + 1
+	for _, i := range hashes(fp, c.k, c.m, c.buf) {
+		if int(c.counters[i]) < min {
+			min = int(c.counters[i])
+		}
+	}
+	return min
+}
+
+// MayContain reports whether fp may be present.
+func (c *Counting) MayContain(fp fingerprint.FP) bool { return c.Count(fp) > 0 }
+
+// Len returns the net number of items (Adds minus Removes).
+func (c *Counting) Len() int { return c.n }
+
+// Reset clears the filter.
+func (c *Counting) Reset() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+	c.n = 0
+}

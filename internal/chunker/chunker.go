@@ -1,0 +1,474 @@
+// Package chunker implements the content-defined chunking (CDC) algorithms
+// used by SLIMSTORE and its baselines: Rabin-based CDC, Gear, FastCDC, and
+// fixed-size chunking (paper §II, §IV-B).
+//
+// Chunkers are exposed as pure cut-point functions (Cutter) so that the
+// deduplication pipeline can drive them incrementally and interleave
+// history-aware skip chunking (§IV-B) and SuperChunking (§IV-C, Algorithm 1)
+// with regular CDC: a skip attempt bypasses the byte-by-byte sliding window
+// entirely, and on failure the pipeline resumes CDC from the saved position.
+package chunker
+
+import (
+	"fmt"
+
+	"slimstore/internal/simclock"
+)
+
+// Params bound chunk sizes. Avg must be a power of two for the mask-based
+// cutters; Normalize applies FastCDC-style two-mask normalization.
+type Params struct {
+	Min int
+	Avg int
+	Max int
+}
+
+// DefaultParams returns the paper's default 4 KiB average chunking with the
+// usual 1/4 min and 4x max bounds.
+func DefaultParams() Params { return ParamsForAvg(4 << 10) }
+
+// ParamsForAvg derives Min=Avg/4 and Max=Avg*4 bounds for a target average.
+func ParamsForAvg(avg int) Params {
+	if avg < 64 {
+		avg = 64
+	}
+	return Params{Min: avg / 4, Avg: avg, Max: avg * 4}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Min <= 0 || p.Avg <= 0 || p.Max <= 0 {
+		return fmt.Errorf("chunker: params must be positive: %+v", p)
+	}
+	if p.Min > p.Avg || p.Avg > p.Max {
+		return fmt.Errorf("chunker: want min <= avg <= max: %+v", p)
+	}
+	if p.Avg&(p.Avg-1) != 0 {
+		return fmt.Errorf("chunker: avg must be a power of two: %d", p.Avg)
+	}
+	return nil
+}
+
+// maskForAvg returns a bit mask with log2(avg) bits set, so a random hash
+// matches it with probability 1/avg.
+func maskForAvg(avg int) uint64 {
+	bits := 0
+	for v := avg; v > 1; v >>= 1 {
+		bits++
+	}
+	return (1 << bits) - 1
+}
+
+// Cutter finds the next cut point in a byte stream.
+type Cutter interface {
+	// Name identifies the algorithm ("rabin", "gear", "fastcdc", "fixed").
+	Name() string
+	// Cut returns the length of the next chunk starting at data[0]. It is
+	// always in (0, len(data)] and respects the cutter's size bounds except
+	// when len(data) is smaller than the minimum (the tail chunk).
+	Cut(data []byte) int
+	// Params returns the size bounds in effect.
+	Params() Params
+	// PerByteCost returns the virtual CPU cost charged per byte scanned by
+	// the sliding window under the given cost model.
+	PerByteCost(c simclock.Costs) float64
+}
+
+// New constructs a cutter by algorithm name. Supported names: "rabin",
+// "gear", "fastcdc", "buzhash", "fixed".
+func New(name string, p Params) (Cutter, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "rabin":
+		return NewRabin(p), nil
+	case "gear":
+		return NewGear(p), nil
+	case "fastcdc":
+		return NewFastCDC(p), nil
+	case "buzhash":
+		return NewBuzhash(p), nil
+	case "fixed":
+		return NewFixed(p), nil
+	default:
+		return nil, fmt.Errorf("chunker: unknown algorithm %q", name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-size chunking.
+
+// Fixed cuts chunks of exactly Avg bytes. It is the cheapest cutter but
+// suffers from the boundary-shift problem (paper §II).
+type Fixed struct{ p Params }
+
+// NewFixed returns a fixed-size cutter.
+func NewFixed(p Params) *Fixed { return &Fixed{p: p} }
+
+// Name implements Cutter.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Params implements Cutter.
+func (f *Fixed) Params() Params { return f.p }
+
+// PerByteCost implements Cutter.
+func (f *Fixed) PerByteCost(c simclock.Costs) float64 { return c.FixedPerByte }
+
+// Cut implements Cutter.
+func (f *Fixed) Cut(data []byte) int {
+	if len(data) <= f.p.Avg {
+		return len(data)
+	}
+	return f.p.Avg
+}
+
+// ---------------------------------------------------------------------------
+// Gear table shared by Gear and FastCDC.
+
+// gearTable is a deterministic table of 256 pseudo-random 64-bit values
+// (Gear hash, Xia et al. 2014). Generated once with splitmix64 so the whole
+// system is reproducible across runs and platforms.
+var gearTable = buildGearTable(0x9E3779B97F4A7C15)
+
+func buildGearTable(seed uint64) [256]uint64 {
+	var t [256]uint64
+	s := seed
+	for i := range t {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Gear CDC.
+
+// Gear is the plain Gear-hash CDC: h = (h << 1) + G[b]; cut when the top
+// bits of h match the mask. One shift+add+lookup per byte makes it much
+// cheaper than Rabin while achieving a similar deduplication ratio.
+type Gear struct {
+	p    Params
+	mask uint64
+}
+
+// NewGear returns a Gear cutter for the given bounds.
+func NewGear(p Params) *Gear {
+	// Use the high bits of the gear hash: they mix input from the most
+	// recent ~64 bytes, giving content-defined boundaries.
+	return &Gear{p: p, mask: maskForAvg(p.Avg) << 28}
+}
+
+// Name implements Cutter.
+func (g *Gear) Name() string { return "gear" }
+
+// Params implements Cutter.
+func (g *Gear) Params() Params { return g.p }
+
+// PerByteCost implements Cutter.
+func (g *Gear) PerByteCost(c simclock.Costs) float64 { return c.GearPerByte }
+
+// Cut implements Cutter.
+func (g *Gear) Cut(data []byte) int {
+	n := len(data)
+	if n <= g.p.Min {
+		return n
+	}
+	max := g.p.Max
+	if n < max {
+		max = n
+	}
+	var h uint64
+	for i := g.p.Min; i < max; i++ {
+		h = (h << 1) + gearTable[data[i]]
+		if h&g.mask == 0 {
+			return i + 1
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// FastCDC.
+
+// FastCDC implements the normalized-chunking variant of Gear (Xia et al.,
+// ATC'16): a stricter mask before the target average size and a looser mask
+// after it, which concentrates the chunk-size distribution around the
+// average and lets the loop skip the sub-minimum region entirely.
+type FastCDC struct {
+	p     Params
+	maskS uint64 // stricter: avg*4 expected distance
+	maskL uint64 // looser: avg/4 expected distance
+}
+
+// NewFastCDC returns a FastCDC cutter for the given bounds.
+func NewFastCDC(p Params) *FastCDC {
+	return &FastCDC{
+		p:     p,
+		maskS: maskForAvg(p.Avg*4) << 20,
+		maskL: maskForAvg(p.Avg/4) << 20,
+	}
+}
+
+// Name implements Cutter.
+func (f *FastCDC) Name() string { return "fastcdc" }
+
+// Params implements Cutter.
+func (f *FastCDC) Params() Params { return f.p }
+
+// PerByteCost implements Cutter.
+func (f *FastCDC) PerByteCost(c simclock.Costs) float64 { return c.FastCDCPerByte }
+
+// Cut implements Cutter.
+func (f *FastCDC) Cut(data []byte) int {
+	n := len(data)
+	if n <= f.p.Min {
+		return n
+	}
+	max := f.p.Max
+	if n < max {
+		max = n
+	}
+	normal := f.p.Avg
+	if normal > max {
+		normal = max
+	}
+	var h uint64
+	i := f.p.Min
+	for ; i < normal; i++ {
+		h = (h << 1) + gearTable[data[i]]
+		if h&f.maskS == 0 {
+			return i + 1
+		}
+	}
+	for ; i < max; i++ {
+		h = (h << 1) + gearTable[data[i]]
+		if h&f.maskL == 0 {
+			return i + 1
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Rabin CDC.
+
+// rabinPoly is an irreducible polynomial of degree 53 over GF(2), the same
+// default used by LBFS-lineage chunkers. The Rabin fingerprint of a window
+// is the window's polynomial residue modulo this polynomial.
+const rabinPoly uint64 = 0x3DA3358B4DC173
+
+// rabinWindowSize is the sliding-window width in bytes.
+const rabinWindowSize = 64
+
+// rabinTables precomputes the byte-at-a-time update tables.
+type rabinTables struct {
+	out   [256]uint64 // effect of the byte leaving the window
+	mod   [256]uint64 // reduction of the byte shifted past the polynomial degree
+	deg   int
+	shift uint
+}
+
+var rabinTab = buildRabinTables(rabinPoly)
+
+func polyDeg(p uint64) int {
+	d := -1
+	for i := 0; i < 64; i++ {
+		if p&(1<<uint(i)) != 0 {
+			d = i
+		}
+	}
+	return d
+}
+
+// polyMod reduces value modulo the polynomial p over GF(2).
+func polyMod(value, p uint64, degP int) uint64 {
+	d := polyDeg(value)
+	for d >= degP {
+		value ^= p << uint(d-degP)
+		d = polyDeg(value)
+	}
+	return value
+}
+
+// polyMulMod multiplies a and b over GF(2) modulo p.
+func polyMulMod(a, b, p uint64, degP int) uint64 {
+	var res uint64
+	a = polyMod(a, p, degP)
+	for i := 0; b != 0; i++ {
+		if b&1 != 0 {
+			// res ^= a * x^i mod p
+			t := a
+			for j := 0; j < i; j++ {
+				t <<= 1
+				if polyDeg(t) >= degP {
+					t ^= p
+				}
+			}
+			res ^= t
+		}
+		b >>= 1
+	}
+	return polyMod(res, p, degP)
+}
+
+func buildRabinTables(p uint64) rabinTables {
+	var t rabinTables
+	t.deg = polyDeg(p)
+	t.shift = uint(t.deg - 8)
+	// mod table: for the top byte b of the fingerprint, the reduction of
+	// b * x^deg modulo p.
+	for b := 0; b < 256; b++ {
+		t.mod[b] = polyMod(uint64(b)<<uint(t.deg), p, t.deg) | uint64(b)<<uint(t.deg)
+	}
+	// out table: contribution of the byte about to leave the window. After a
+	// byte is appended, windowSize-1 further bytes are appended before it is
+	// slid out, so its contribution is b * x^(8*(windowSize-1)) mod p.
+	xw := uint64(1)
+	for i := 0; i < 8*(rabinWindowSize-1); i++ {
+		xw <<= 1
+		if polyDeg(xw) >= t.deg {
+			xw ^= p
+		}
+	}
+	for b := 0; b < 256; b++ {
+		t.out[b] = polyMulMod(uint64(b), xw, p, t.deg)
+	}
+	return t
+}
+
+// Rabin is the classic Rabin-fingerprint CDC. It is the most expensive
+// cutter (two table lookups, shifts and xors per byte plus window ring
+// maintenance) and serves as the paper's costly baseline in Fig 2/Fig 5.
+type Rabin struct {
+	p    Params
+	mask uint64
+}
+
+// NewRabin returns a Rabin cutter for the given bounds.
+func NewRabin(p Params) *Rabin {
+	return &Rabin{p: p, mask: maskForAvg(p.Avg)}
+}
+
+// Name implements Cutter.
+func (r *Rabin) Name() string { return "rabin" }
+
+// Params implements Cutter.
+func (r *Rabin) Params() Params { return r.p }
+
+// PerByteCost implements Cutter.
+func (r *Rabin) PerByteCost(c simclock.Costs) float64 { return c.RabinPerByte }
+
+// Cut implements Cutter.
+func (r *Rabin) Cut(data []byte) int {
+	n := len(data)
+	if n <= r.p.Min {
+		return n
+	}
+	max := r.p.Max
+	if n < max {
+		max = n
+	}
+	var window [rabinWindowSize]byte
+	var pos int
+	var digest uint64
+
+	append1 := func(b byte) {
+		top := byte(digest >> rabinTab.shift)
+		digest = ((digest << 8) | uint64(b)) ^ rabinTab.mod[top]
+	}
+	slide := func(b byte) {
+		old := window[pos]
+		window[pos] = b
+		pos = (pos + 1) % rabinWindowSize
+		digest ^= rabinTab.out[old]
+		append1(b)
+	}
+
+	// Warm the window over the last windowSize bytes before the minimum cut
+	// point, then scan byte-by-byte.
+	start := r.p.Min - rabinWindowSize
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < r.p.Min; i++ {
+		slide(data[i])
+	}
+	for i := r.p.Min; i < max; i++ {
+		slide(data[i])
+		if digest&r.mask == 0 {
+			return i + 1
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Buzhash CDC.
+
+// Buzhash is the cyclic-polynomial rolling hash used by the borg/attic
+// family of deduplicating archivers: rolling costs one rotate and two
+// table lookups per byte — cheaper than Rabin, with true O(1) windowed
+// rolling unlike Gear's decaying sum.
+type Buzhash struct {
+	p    Params
+	mask uint64
+}
+
+// buzWindowSize is the Buzhash sliding-window width in bytes.
+const buzWindowSize = 64
+
+// buzTable reuses the deterministic gear table (256 pseudo-random words).
+var buzTable = buildGearTable(0xC2B2AE3D27D4EB4F)
+
+// NewBuzhash returns a Buzhash cutter for the given bounds.
+func NewBuzhash(p Params) *Buzhash {
+	return &Buzhash{p: p, mask: maskForAvg(p.Avg)}
+}
+
+// Name implements Cutter.
+func (b *Buzhash) Name() string { return "buzhash" }
+
+// Params implements Cutter.
+func (b *Buzhash) Params() Params { return b.p }
+
+// PerByteCost implements Cutter. Buzhash costs about the same per byte as
+// Gear (rotate + xor + two lookups vs shift + add + one lookup).
+func (b *Buzhash) PerByteCost(c simclock.Costs) float64 { return c.GearPerByte }
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// Cut implements Cutter.
+func (b *Buzhash) Cut(data []byte) int {
+	n := len(data)
+	if n <= b.p.Min {
+		return n
+	}
+	max := b.p.Max
+	if n < max {
+		max = n
+	}
+	// Warm the window over the buzWindowSize bytes before the minimum cut
+	// point (cut decisions depend only on the trailing window, which is
+	// what makes skip chunking sound for this cutter too).
+	start := b.p.Min - buzWindowSize
+	if start < 0 {
+		start = 0
+	}
+	var h uint64
+	for i := start; i < b.p.Min; i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+	}
+	width := b.p.Min - start
+	for i := b.p.Min; i < max; i++ {
+		// Slide: remove data[i-width], add data[i].
+		h = rotl(h, 1) ^ rotl(buzTable[data[i-width]], uint(width%64)) ^ buzTable[data[i]]
+		if h&b.mask == 0 {
+			return i + 1
+		}
+	}
+	return max
+}

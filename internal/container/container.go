@@ -1,0 +1,191 @@
+// Package container implements the container store, the basic storage and
+// access unit of backup data on OSS (paper §III-B).
+//
+// Non-duplicate chunks are aggregated into fixed-capacity containers.
+// Reading a whole container per request amortises OSS latency and exploits
+// physical locality: chunks stored together were adjacent in some backup
+// file, so one read serves many nearby chunk accesses.
+//
+// Each container persists as two OSS objects:
+//
+//	containers/<id>.data — concatenated chunk payloads
+//	containers/<id>.meta — per-chunk records (fp, offset, size, deleted)
+//
+// Splitting metadata from data lets G-node's reverse deduplication mark
+// chunks deleted by rewriting only the small metadata object (§VI-A); the
+// data object is rewritten only when the stale proportion crosses the
+// compaction threshold.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"slimstore/internal/fingerprint"
+)
+
+// ID identifies a container. IDs are unique per backup repository.
+type ID uint64
+
+// Invalid is the zero ID, never assigned to a real container.
+const Invalid ID = 0
+
+// String renders the ID as it appears in OSS keys.
+func (id ID) String() string { return fmt.Sprintf("C%016x", uint64(id)) }
+
+// DefaultCapacity is the default container payload capacity. 4 MiB is the
+// common choice in deduplication systems (DDFS-lineage) and amortises OSS
+// request latency well.
+const DefaultCapacity = 4 << 20
+
+// ChunkMeta describes one chunk stored in a container.
+type ChunkMeta struct {
+	FP      fingerprint.FP
+	Offset  uint32
+	Size    uint32
+	Deleted bool
+}
+
+// Meta is a container's metadata: the chunk directory plus summary
+// counters used by sparse-container detection and deferred compaction.
+type Meta struct {
+	ID       ID
+	Chunks   []ChunkMeta
+	DataSize uint32 // payload bytes including deleted chunks
+}
+
+// Find returns the metadata of the chunk with fingerprint fp, or nil.
+func (m *Meta) Find(fp fingerprint.FP) *ChunkMeta {
+	for i := range m.Chunks {
+		if m.Chunks[i].FP == fp {
+			return &m.Chunks[i]
+		}
+	}
+	return nil
+}
+
+// LiveChunks counts non-deleted chunks.
+func (m *Meta) LiveChunks() int {
+	n := 0
+	for i := range m.Chunks {
+		if !m.Chunks[i].Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveBytes sums non-deleted chunk sizes.
+func (m *Meta) LiveBytes() int64 {
+	var n int64
+	for i := range m.Chunks {
+		if !m.Chunks[i].Deleted {
+			n += int64(m.Chunks[i].Size)
+		}
+	}
+	return n
+}
+
+// StaleProportion is the fraction of chunks marked deleted (paper §III-B:
+// "the proportion of stale chunks"). Used by G-node to decide when the data
+// object is worth rewriting (§VI-A, e.g. 20%).
+func (m *Meta) StaleProportion() float64 {
+	if len(m.Chunks) == 0 {
+		return 0
+	}
+	return float64(len(m.Chunks)-m.LiveChunks()) / float64(len(m.Chunks))
+}
+
+// Container is a fully materialised container: metadata plus payload.
+type Container struct {
+	Meta Meta
+	Data []byte
+}
+
+// ChunkData returns the payload of the chunk described by cm. The slice
+// aliases the container buffer.
+func (c *Container) ChunkData(cm *ChunkMeta) ([]byte, error) {
+	end := int64(cm.Offset) + int64(cm.Size)
+	if end > int64(len(c.Data)) {
+		return nil, fmt.Errorf("container %s: chunk %s range [%d,%d) exceeds data size %d",
+			c.Meta.ID, cm.FP.Short(), cm.Offset, end, len(c.Data))
+	}
+	return c.Data[cm.Offset:end], nil
+}
+
+// Get returns the payload of the chunk with fingerprint fp.
+func (c *Container) Get(fp fingerprint.FP) ([]byte, error) {
+	cm := c.Meta.Find(fp)
+	if cm == nil {
+		return nil, fmt.Errorf("container %s: chunk %s not found", c.Meta.ID, fp.Short())
+	}
+	return c.ChunkData(cm)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. Fixed-width little-endian encoding: simple, versioned, and
+// fast to decode without reflection.
+
+const metaMagic = uint32(0x534C4D43) // "SLMC"
+const metaVersion = 1
+
+// chunkMetaWire is the on-wire size of one ChunkMeta record.
+const chunkMetaWire = fingerprint.Size + 4 + 4 + 1
+
+// EncodeMeta serialises container metadata.
+func EncodeMeta(m *Meta) []byte {
+	buf := make([]byte, 0, 24+len(m.Chunks)*chunkMetaWire)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], metaVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.ID))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(m.Chunks)))
+	binary.LittleEndian.PutUint32(hdr[20:24], m.DataSize)
+	buf = append(buf, hdr[:]...)
+	var rec [chunkMetaWire]byte
+	for i := range m.Chunks {
+		cm := &m.Chunks[i]
+		copy(rec[:fingerprint.Size], cm.FP[:])
+		binary.LittleEndian.PutUint32(rec[fingerprint.Size:], cm.Offset)
+		binary.LittleEndian.PutUint32(rec[fingerprint.Size+4:], cm.Size)
+		if cm.Deleted {
+			rec[fingerprint.Size+8] = 1
+		} else {
+			rec[fingerprint.Size+8] = 0
+		}
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodeMeta parses container metadata.
+func DecodeMeta(b []byte) (*Meta, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("container: meta too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != metaMagic {
+		return nil, fmt.Errorf("container: bad meta magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != metaVersion {
+		return nil, fmt.Errorf("container: unsupported meta version %d", v)
+	}
+	m := &Meta{
+		ID:       ID(binary.LittleEndian.Uint64(b[8:16])),
+		DataSize: binary.LittleEndian.Uint32(b[20:24]),
+	}
+	n := int(binary.LittleEndian.Uint32(b[16:20]))
+	if len(b) != 24+n*chunkMetaWire {
+		return nil, fmt.Errorf("container: meta size %d does not match %d chunks", len(b), n)
+	}
+	m.Chunks = make([]ChunkMeta, n)
+	off := 24
+	for i := 0; i < n; i++ {
+		cm := &m.Chunks[i]
+		copy(cm.FP[:], b[off:off+fingerprint.Size])
+		cm.Offset = binary.LittleEndian.Uint32(b[off+fingerprint.Size:])
+		cm.Size = binary.LittleEndian.Uint32(b[off+fingerprint.Size+4:])
+		cm.Deleted = b[off+fingerprint.Size+8] == 1
+		off += chunkMetaWire
+	}
+	return m, nil
+}

@@ -1,0 +1,392 @@
+package container
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+func chunkOf(seed int64, n int) (fingerprint.FP, []byte) {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return fingerprint.OfBytes(b), b
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := &Meta{ID: 42, DataSize: 300}
+	for i := 0; i < 10; i++ {
+		fp, _ := chunkOf(int64(i), 8)
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: uint32(i * 30), Size: 30, Deleted: i%3 == 0})
+	}
+	got, err := DecodeMeta(EncodeMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeMetaErrors(t *testing.T) {
+	if _, err := DecodeMeta([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	good := EncodeMeta(&Meta{ID: 1})
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeMeta(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	trunc := EncodeMeta(&Meta{ID: 1, Chunks: []ChunkMeta{{Size: 5}}})
+	if _, err := DecodeMeta(trunc[:len(trunc)-3]); err == nil {
+		t.Fatal("truncated records accepted")
+	}
+}
+
+func TestMetaAccessors(t *testing.T) {
+	m := &Meta{ID: 7}
+	fps := make([]fingerprint.FP, 4)
+	for i := range fps {
+		fp, _ := chunkOf(int64(100+i), 16)
+		fps[i] = fp
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: uint32(i * 10), Size: 10, Deleted: i >= 3})
+	}
+	if m.LiveChunks() != 3 {
+		t.Fatalf("LiveChunks = %d", m.LiveChunks())
+	}
+	if m.LiveBytes() != 30 {
+		t.Fatalf("LiveBytes = %d", m.LiveBytes())
+	}
+	if sp := m.StaleProportion(); sp != 0.25 {
+		t.Fatalf("StaleProportion = %f", sp)
+	}
+	if m.Find(fps[2]) == nil {
+		t.Fatal("Find missed an existing chunk")
+	}
+	missing, _ := chunkOf(999, 16)
+	if m.Find(missing) != nil {
+		t.Fatal("Find returned a chunk for a missing fingerprint")
+	}
+	empty := &Meta{}
+	if empty.StaleProportion() != 0 {
+		t.Fatal("empty StaleProportion should be 0")
+	}
+}
+
+func TestBuilderFillsAndRolls(t *testing.T) {
+	mem := oss.NewMem()
+	cs, err := NewStore(mem, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(cs)
+
+	// 7 chunks of 300 bytes in a 1000-byte container → 3 per container.
+	ids := make(map[ID]int)
+	for i := 0; i < 7; i++ {
+		fp, data := chunkOf(int64(i), 300)
+		id, err := b.Add(fp, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[id]++
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("chunks spread over %d containers, want 3", len(ids))
+	}
+	list, err := cs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("List = %v, want 3 containers", list)
+	}
+
+	// Every chunk retrievable, byte-exact.
+	for i := 0; i < 7; i++ {
+		fp, want := chunkOf(int64(i), 300)
+		var found bool
+		for id := range ids {
+			c, err := cs.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := c.Get(fp); err == nil {
+				if !bytes.Equal(got, want) {
+					t.Fatalf("chunk %d corrupted", i)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("chunk %d not found in any container", i)
+		}
+	}
+}
+
+func TestBuilderOversizeChunk(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, 100)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 500) // larger than capacity: gets its own container
+	if _, err := b.Add(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := cs.List()
+	if len(ids) != 1 {
+		t.Fatalf("List = %v", ids)
+	}
+	c, err := cs.Read(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("oversize chunk not stored intact: %v", err)
+	}
+}
+
+func TestReadChunkRange(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	var fps []fingerprint.FP
+	var datas [][]byte
+	var id ID
+	for i := 0; i < 5; i++ {
+		fp, data := chunkOf(int64(i), 1000+i)
+		fps = append(fps, fp)
+		datas = append(datas, data)
+		id, _ = b.Add(fp, data)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fp := range fps {
+		got, err := cs.ReadChunk(id, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, datas[i]) {
+			t.Fatalf("ReadChunk %d mismatch", i)
+		}
+	}
+	missing, _ := chunkOf(99, 8)
+	if _, err := cs.ReadChunk(id, missing); err == nil {
+		t.Fatal("ReadChunk of missing fingerprint should fail")
+	}
+}
+
+func TestWriteMetaMarkDeleted(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 100)
+	fp2, data2 := chunkOf(2, 100)
+	id, _ := b.Add(fp, data)
+	b.Add(fp2, data2)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := cs.ReadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Find(fp).Deleted = true
+	if err := cs.WriteMeta(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store (cold cache) sees the deletion.
+	cs2, _ := NewStore(mem, DefaultCapacity)
+	m2, err := cs2.ReadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Find(fp).Deleted || m2.Find(fp2).Deleted {
+		t.Fatal("deletion mark did not persist correctly")
+	}
+	if m2.StaleProportion() != 0.5 {
+		t.Fatalf("StaleProportion = %f", m2.StaleProportion())
+	}
+}
+
+func TestIDAllocationResumes(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 10)
+	id1, _ := b.Add(fp, data)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs2, _ := NewStore(mem, DefaultCapacity)
+	id2 := cs2.AllocateID()
+	if id2 <= id1 {
+		t.Fatalf("reopened store allocated %v, must exceed %v", id2, id1)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 10)
+	id, _ := b.Add(fp, data)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Read(id); err == nil {
+		t.Fatal("Read after Delete should fail")
+	}
+	ids, _ := cs.List()
+	if len(ids) != 0 {
+		t.Fatalf("List after delete = %v", ids)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	id := ID(0xabc)
+	for _, k := range []string{dataKey(id), metaKey(id)} {
+		got, ok := parseKey(k)
+		if !ok || got != id {
+			t.Fatalf("parseKey(%q) = %v, %v", k, got, ok)
+		}
+	}
+	for _, k := range []string{"containers/garbage", "containers/X123.meta", "other/C1.meta"} {
+		if _, ok := parseKey(k); ok && k != "other/C1.meta" {
+			t.Fatalf("parseKey(%q) unexpectedly ok", k)
+		}
+	}
+}
+
+// Property: any set of chunks written through a Builder is fully
+// recoverable from the container store.
+func TestQuickBuilderRecovery(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		mem := oss.NewMem()
+		cs, err := NewStore(mem, 4096)
+		if err != nil {
+			return false
+		}
+		b := NewBuilder(cs)
+		type item struct {
+			fp   fingerprint.FP
+			data []byte
+			id   ID
+		}
+		var items []item
+		for i, sz := range sizes {
+			n := int(sz)%2000 + 1
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			// Make chunks distinct.
+			copy(data, fmt.Sprintf("%d:", i))
+			fp := fingerprint.OfBytes(data)
+			id, err := b.Add(fp, data)
+			if err != nil {
+				return false
+			}
+			items = append(items, item{fp, data, id})
+		}
+		if err := b.Flush(); err != nil {
+			return false
+		}
+		for _, it := range items {
+			got, err := cs.ReadChunk(it.id, it.fp)
+			if err != nil || !bytes.Equal(got, it.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentViews(t *testing.T) {
+	mem := oss.NewMem()
+	cs, err := NewStore(mem, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiple per-job views share the ID allocator and write concurrently;
+	// no ID may collide and every chunk must remain retrievable.
+	const workers = 6
+	const perWorker = 20
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			view := cs.View(mem)
+			b := NewBuilder(view)
+			for i := 0; i < perWorker; i++ {
+				fp, data := chunkOf(int64(w*1000+i), 8<<10)
+				if _, err := b.Add(fp, data); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- b.Flush()
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := cs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ID]bool{}
+	var chunks int
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate container ID %v", id)
+		}
+		seen[id] = true
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks += len(m.Chunks)
+	}
+	if chunks != workers*perWorker {
+		t.Fatalf("stored %d chunks, want %d", chunks, workers*perWorker)
+	}
+	// Spot-check payloads across views.
+	for w := 0; w < workers; w++ {
+		fp, want := chunkOf(int64(w*1000), 8<<10)
+		found := false
+		for _, id := range ids {
+			if got, err := cs.ReadChunk(id, fp); err == nil && bytes.Equal(got, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("worker %d chunk missing", w)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package container
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+// Prefix is the OSS key namespace for containers.
+const Prefix = "containers/"
+
+func dataKey(id ID) string { return Prefix + id.String() + ".data" }
+func metaKey(id ID) string { return Prefix + id.String() + ".meta" }
+
+// Store reads and writes containers on OSS and allocates container IDs.
+// It is safe for concurrent use by multiple jobs. Views created with View
+// share the ID allocator and metadata cache while directing I/O through a
+// different (typically per-job metered) OSS store.
+type Store struct {
+	oss    oss.Store
+	shared *storeShared
+}
+
+// storeShared is the state common to all views of one container store.
+type storeShared struct {
+	capacity int
+	nextID   atomic.Uint64
+
+	mu        sync.Mutex
+	metaCache map[ID]*Meta // small write-through cache of container metadata
+	metaCap   int
+}
+
+// NewStore opens a container store over the given OSS store. capacity <= 0
+// selects DefaultCapacity. The ID allocator resumes after the largest
+// existing container.
+func NewStore(s oss.Store, capacity int) (*Store, error) {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	cs := &Store{oss: s, shared: &storeShared{capacity: capacity, metaCache: make(map[ID]*Meta), metaCap: 1024}}
+	keys, err := s.List(Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("container: scan existing: %w", err)
+	}
+	var max uint64
+	for _, k := range keys {
+		id, ok := parseKey(k)
+		if ok && uint64(id) > max {
+			max = uint64(id)
+		}
+	}
+	cs.shared.nextID.Store(max)
+	return cs, nil
+}
+
+// View returns a store sharing this store's ID allocator and metadata
+// cache but performing I/O through o (e.g. a per-job metered wrapper).
+func (s *Store) View(o oss.Store) *Store {
+	return &Store{oss: o, shared: s.shared}
+}
+
+// parseKey extracts the container ID from an OSS key.
+func parseKey(key string) (ID, bool) {
+	name := strings.TrimPrefix(key, Prefix)
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		name = name[:i]
+	}
+	if !strings.HasPrefix(name, "C") {
+		return Invalid, false
+	}
+	v, err := strconv.ParseUint(name[1:], 16, 64)
+	if err != nil {
+		return Invalid, false
+	}
+	return ID(v), true
+}
+
+// Capacity returns the payload capacity for new containers.
+func (s *Store) Capacity() int { return s.shared.capacity }
+
+// AllocateID returns a fresh container ID.
+func (s *Store) AllocateID() ID { return ID(s.shared.nextID.Add(1)) }
+
+// Write persists a container (data then metadata, so a metadata object
+// never references missing data).
+func (s *Store) Write(c *Container) error {
+	if c.Meta.ID == Invalid {
+		return fmt.Errorf("container: write with invalid ID")
+	}
+	if err := s.oss.Put(dataKey(c.Meta.ID), c.Data); err != nil {
+		return fmt.Errorf("container %s: write data: %w", c.Meta.ID, err)
+	}
+	if err := s.oss.Put(metaKey(c.Meta.ID), EncodeMeta(&c.Meta)); err != nil {
+		return fmt.Errorf("container %s: write meta: %w", c.Meta.ID, err)
+	}
+	s.cacheMeta(&c.Meta)
+	return nil
+}
+
+// Read fetches a full container (metadata + payload).
+func (s *Store) Read(id ID) (*Container, error) {
+	m, err := s.ReadMeta(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.oss.Get(dataKey(id))
+	if err != nil {
+		return nil, fmt.Errorf("container %s: read data: %w", id, err)
+	}
+	return &Container{Meta: *m, Data: data}, nil
+}
+
+// ReadMeta fetches container metadata, through the cache.
+func (s *Store) ReadMeta(id ID) (*Meta, error) {
+	s.shared.mu.Lock()
+	if m, ok := s.shared.metaCache[id]; ok {
+		s.shared.mu.Unlock()
+		return m, nil
+	}
+	s.shared.mu.Unlock()
+	b, err := s.oss.Get(metaKey(id))
+	if err != nil {
+		return nil, fmt.Errorf("container %s: read meta: %w", id, err)
+	}
+	m, err := DecodeMeta(b)
+	if err != nil {
+		return nil, fmt.Errorf("container %s: %w", id, err)
+	}
+	s.cacheMeta(m)
+	return m, nil
+}
+
+// WriteMeta rewrites only the metadata object (used by reverse dedup to
+// mark chunks deleted without touching payload).
+func (s *Store) WriteMeta(m *Meta) error {
+	if err := s.oss.Put(metaKey(m.ID), EncodeMeta(m)); err != nil {
+		return fmt.Errorf("container %s: write meta: %w", m.ID, err)
+	}
+	s.cacheMeta(m)
+	return nil
+}
+
+// ReadChunk fetches a single chunk via a ranged read; cheaper than Read
+// when only one chunk of a cold container is needed (old-version restore
+// after reverse deduplication).
+func (s *Store) ReadChunk(id ID, fp fingerprint.FP) ([]byte, error) {
+	m, err := s.ReadMeta(id)
+	if err != nil {
+		return nil, err
+	}
+	cm := m.Find(fp)
+	if cm == nil {
+		return nil, fmt.Errorf("container %s: chunk %s not found", id, fp.Short())
+	}
+	data, err := s.oss.GetRange(dataKey(id), int64(cm.Offset), int64(cm.Size))
+	if err != nil {
+		return nil, fmt.Errorf("container %s: read chunk %s: %w", id, fp.Short(), err)
+	}
+	return data, nil
+}
+
+// Delete removes a container's data and metadata.
+func (s *Store) Delete(id ID) error {
+	if err := s.oss.Delete(dataKey(id)); err != nil {
+		return fmt.Errorf("container %s: delete data: %w", id, err)
+	}
+	if err := s.oss.Delete(metaKey(id)); err != nil {
+		return fmt.Errorf("container %s: delete meta: %w", id, err)
+	}
+	s.shared.mu.Lock()
+	delete(s.shared.metaCache, id)
+	s.shared.mu.Unlock()
+	return nil
+}
+
+// List returns all container IDs in ascending order.
+func (s *Store) List() ([]ID, error) {
+	keys, err := s.oss.List(Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("container: list: %w", err)
+	}
+	seen := make(map[ID]struct{}, len(keys)/2)
+	var out []ID
+	for _, k := range keys {
+		if !strings.HasSuffix(k, ".meta") {
+			continue
+		}
+		id, ok := parseKey(k)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// InvalidateMeta drops a cached metadata entry (e.g. after an external
+// writer rewrote the container).
+func (s *Store) InvalidateMeta(id ID) {
+	s.shared.mu.Lock()
+	delete(s.shared.metaCache, id)
+	s.shared.mu.Unlock()
+}
+
+func (s *Store) cacheMeta(m *Meta) {
+	sh := s.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.metaCache) >= sh.metaCap {
+		// Random eviction of one entry keeps the cache bounded without an
+		// LRU list; metadata is tiny and re-fetchable.
+		for k := range sh.metaCache {
+			delete(sh.metaCache, k)
+			break
+		}
+	}
+	cp := *m
+	cp.Chunks = append([]ChunkMeta(nil), m.Chunks...)
+	sh.metaCache[m.ID] = &cp
+}
+
+// ---------------------------------------------------------------------------
+
+// Builder accumulates chunks into a container until it is full. Builders
+// are not safe for concurrent use; each backup job owns one.
+type Builder struct {
+	store *Store
+	cur   *Container
+}
+
+// NewBuilder returns a builder writing through the given store.
+func NewBuilder(store *Store) *Builder { return &Builder{store: store} }
+
+// Pending reports whether an unflushed container holds data.
+func (b *Builder) Pending() bool { return b.cur != nil && len(b.cur.Data) > 0 }
+
+// CurrentID returns the ID the next Add will write into, allocating a
+// container if none is open.
+func (b *Builder) CurrentID() ID {
+	b.ensure()
+	return b.cur.Meta.ID
+}
+
+func (b *Builder) ensure() {
+	if b.cur == nil {
+		b.cur = &Container{
+			Meta: Meta{ID: b.store.AllocateID()},
+			Data: make([]byte, 0, b.store.shared.capacity),
+		}
+	}
+}
+
+// Add appends a chunk, flushing first if it would overflow the capacity.
+// It returns the container ID the chunk was stored in.
+func (b *Builder) Add(fp fingerprint.FP, data []byte) (ID, error) {
+	b.ensure()
+	if len(b.cur.Data)+len(data) > b.store.shared.capacity && len(b.cur.Data) > 0 {
+		if err := b.Flush(); err != nil {
+			return Invalid, err
+		}
+		b.ensure()
+	}
+	b.cur.Meta.Chunks = append(b.cur.Meta.Chunks, ChunkMeta{
+		FP:     fp,
+		Offset: uint32(len(b.cur.Data)),
+		Size:   uint32(len(data)),
+	})
+	b.cur.Data = append(b.cur.Data, data...)
+	b.cur.Meta.DataSize = uint32(len(b.cur.Data))
+	return b.cur.Meta.ID, nil
+}
+
+// Flush persists the open container, if any.
+func (b *Builder) Flush() error {
+	if b.cur == nil || len(b.cur.Meta.Chunks) == 0 {
+		b.cur = nil
+		return nil
+	}
+	if err := b.store.Write(b.cur); err != nil {
+		return err
+	}
+	b.cur = nil
+	return nil
+}

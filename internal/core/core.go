@@ -1,0 +1,249 @@
+// Package core wires SLIMSTORE's storage layer together (paper Fig 1): the
+// container store, recipe store, similar file index, and global index, all
+// residing on one OSS store, plus the system configuration shared by the
+// L-node and G-node computing layers.
+package core
+
+import (
+	"fmt"
+
+	"slimstore/internal/chunker"
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/globalindex"
+	"slimstore/internal/oss"
+	"slimstore/internal/recipe"
+	"slimstore/internal/simclock"
+	"slimstore/internal/simindex"
+)
+
+// Config holds every tunable of the system. The defaults reproduce the
+// paper's evaluation setup (§VII-A).
+type Config struct {
+	// ChunkAlgo selects the CDC algorithm: "rabin", "gear", "fastcdc",
+	// "fixed". Default "fastcdc".
+	ChunkAlgo string
+	// ChunkParams bound chunk sizes; default 4 KiB average (§VII-B).
+	ChunkParams chunker.Params
+	// FingerprintAlg selects the chunk hash. Default SHA-1 (§II).
+	FingerprintAlg fingerprint.Algorithm
+
+	// SegmentChunks is the number of consecutive chunks per segment
+	// recipe. Default 256.
+	SegmentChunks int
+	// SampleRatio is R in the mod-R representative sampling (§IV-A).
+	// Default 32.
+	SampleRatio int
+	// SimilarityMinScore is the minimum sketch resemblance for the
+	// similar-file fallback of STEP 1. Default 0.1.
+	SimilarityMinScore float64
+	// DedupCacheSegments bounds how many prefetched segment recipes a
+	// backup job keeps in its dedup cache (oldest evicted first).
+	// Default 256; L-nodes are stateless, so this is the job's entire
+	// index memory footprint.
+	DedupCacheSegments int
+
+	// SkipChunking enables history-aware skip chunking (§IV-B).
+	SkipChunking bool
+	// ChunkMerging enables history-aware chunk merging (§IV-C).
+	ChunkMerging bool
+	// MergeThreshold is the duplicateTimes value at which consecutive
+	// duplicate chunks merge into a superchunk. Default 5 (§VII-B).
+	MergeThreshold int
+	// MaxSuperChunkBytes caps superchunk size. Default 2 MiB (§VII-E).
+	MaxSuperChunkBytes int
+
+	// ContainerCapacity is the container payload size. Default 4 MiB.
+	ContainerCapacity int
+
+	// SparseUtilization is the utilization below which a container
+	// referenced by the current backup is recorded as sparse (§V-B).
+	// Default 0.3.
+	SparseUtilization float64
+	// RewriteStaleThreshold is the deleted-chunk proportion at which
+	// reverse deduplication physically rewrites a container (§VI-A).
+	// Default 0.2.
+	RewriteStaleThreshold float64
+
+	// Restore cache sizing (§V-A).
+	CacheMemBytes  int64
+	CacheDiskBytes int64
+	// CacheDiskDir, when set, spills the FV cache's disk layer to real
+	// files in this directory (the L-node local disk of the paper);
+	// empty simulates the layer in memory.
+	CacheDiskDir string
+	LAWChunks    int
+	// RestorePolicy selects the cache policy: "fv" (default), "opt",
+	// "alacc", "lru".
+	RestorePolicy string
+	// PrefetchThreads is the LAW prefetcher worker count; 0 disables
+	// prefetching (Table II).
+	PrefetchThreads int
+	// VerifyRestore re-fingerprints every restored chunk and fails the
+	// restore on any mismatch (end-to-end integrity at fingerprinting
+	// cost).
+	VerifyRestore bool
+
+	// Costs is the virtual-time cost model.
+	Costs simclock.Costs
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		ChunkAlgo:             "fastcdc",
+		ChunkParams:           chunker.DefaultParams(),
+		FingerprintAlg:        fingerprint.SHA1,
+		SegmentChunks:         256,
+		SampleRatio:           32,
+		SimilarityMinScore:    0.1,
+		DedupCacheSegments:    256,
+		SkipChunking:          true,
+		ChunkMerging:          true,
+		MergeThreshold:        5,
+		MaxSuperChunkBytes:    2 << 20,
+		ContainerCapacity:     4 << 20,
+		SparseUtilization:     0.3,
+		RewriteStaleThreshold: 0.2,
+		CacheMemBytes:         256 << 20,
+		CacheDiskBytes:        1 << 30,
+		LAWChunks:             4096,
+		RestorePolicy:         "fv",
+		PrefetchThreads:       6,
+		Costs:                 simclock.DefaultCosts(),
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.ChunkAlgo == "" {
+		c.ChunkAlgo = d.ChunkAlgo
+	}
+	if c.ChunkParams == (chunker.Params{}) {
+		c.ChunkParams = d.ChunkParams
+	}
+	if c.SegmentChunks <= 0 {
+		c.SegmentChunks = d.SegmentChunks
+	}
+	if c.SampleRatio <= 0 {
+		c.SampleRatio = d.SampleRatio
+	}
+	if c.SimilarityMinScore <= 0 {
+		c.SimilarityMinScore = d.SimilarityMinScore
+	}
+	if c.DedupCacheSegments <= 0 {
+		c.DedupCacheSegments = d.DedupCacheSegments
+	}
+	if c.MergeThreshold <= 0 {
+		c.MergeThreshold = d.MergeThreshold
+	}
+	if c.MaxSuperChunkBytes <= 0 {
+		c.MaxSuperChunkBytes = d.MaxSuperChunkBytes
+	}
+	if c.ContainerCapacity <= 0 {
+		c.ContainerCapacity = d.ContainerCapacity
+	}
+	if c.SparseUtilization <= 0 {
+		c.SparseUtilization = d.SparseUtilization
+	}
+	if c.RewriteStaleThreshold <= 0 {
+		c.RewriteStaleThreshold = d.RewriteStaleThreshold
+	}
+	if c.CacheMemBytes <= 0 {
+		c.CacheMemBytes = d.CacheMemBytes
+	}
+	if c.LAWChunks <= 0 {
+		c.LAWChunks = d.LAWChunks
+	}
+	if c.RestorePolicy == "" {
+		c.RestorePolicy = d.RestorePolicy
+	}
+	if c.Costs == (simclock.Costs{}) {
+		c.Costs = d.Costs
+	}
+}
+
+// Repo is the opened storage layer. One Repo is shared by every L-node and
+// the G-node of a backup domain; all of its components are safe for
+// concurrent use.
+type Repo struct {
+	Config Config
+
+	// Base is the raw (unmetered) OSS store.
+	Base oss.Store
+	// Containers, Recipes operate unmetered; per-job metered views come
+	// from ContainersFor / RecipesFor.
+	Containers *container.Store
+	Recipes    *recipe.Store
+	SimIndex   *simindex.Index
+	Global     *globalindex.Index
+}
+
+// OpenRepo opens (or initialises) the storage layer on an OSS store.
+func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
+	cfg.fillDefaults()
+	if err := cfg.ChunkParams.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if _, err := chunker.New(cfg.ChunkAlgo, cfg.ChunkParams); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cs, err := container.NewStore(store, cfg.ContainerCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("core: open containers: %w", err)
+	}
+	si, err := simindex.Open(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: open similar file index: %w", err)
+	}
+	gi, err := globalindex.Open(store, globalindex.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: open global index: %w", err)
+	}
+	return &Repo{
+		Config:     cfg,
+		Base:       store,
+		Containers: cs,
+		Recipes:    recipe.NewStore(store),
+		SimIndex:   si,
+		Global:     gi,
+	}, nil
+}
+
+// Metered returns an OSS view charging acct under the repo's cost model.
+func (r *Repo) Metered(acct *simclock.Account) *oss.Metered {
+	return oss.NewMetered(r.Base, r.Config.Costs, acct)
+}
+
+// ContainersFor returns a container-store view charging acct.
+func (r *Repo) ContainersFor(acct *simclock.Account) *container.Store {
+	return r.Containers.View(r.Metered(acct))
+}
+
+// RecipesFor returns a recipe-store view charging acct.
+func (r *Repo) RecipesFor(acct *simclock.Account) *recipe.Store {
+	return recipe.NewStore(r.Metered(acct))
+}
+
+// Cutter constructs the configured chunker.
+func (r *Repo) Cutter() chunker.Cutter {
+	c, err := chunker.New(r.Config.ChunkAlgo, r.Config.ChunkParams)
+	if err != nil {
+		// Config was validated at OpenRepo; this cannot fail afterwards.
+		panic(err)
+	}
+	return c
+}
+
+// Fingerprint hashes a chunk with the configured algorithm, charging the
+// fingerprinting CPU phase.
+func (r *Repo) Fingerprint(acct *simclock.Account, data []byte) fingerprint.FP {
+	per := r.Config.Costs.SHA1PerByte
+	if r.Config.FingerprintAlg == fingerprint.SHA256 {
+		per = r.Config.Costs.SHA256PerByte
+	}
+	if acct != nil {
+		acct.ChargeCPUBytes(simclock.PhaseFingerprint, int64(len(data)), per)
+	}
+	return fingerprint.Of(r.Config.FingerprintAlg, data)
+}

@@ -1,0 +1,165 @@
+// Package fingerprint defines chunk fingerprints and the representative
+// sampling used throughout SLIMSTORE.
+//
+// A fingerprint is a cryptographically secure hash of a chunk's content; two
+// chunks with equal fingerprints are treated as duplicates (paper §II). The
+// paper uses SHA-1; SHA-256 is offered as a stronger alternative. Sampling
+// follows the mod-R scheme used by Sparse Indexing and DeFrame (paper §IV-A):
+// a fingerprint is representative iff its low bits mod R equal zero.
+package fingerprint
+
+import (
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the number of bytes kept from the underlying hash. 20 bytes (the
+// full SHA-1 width) keeps collision probability negligible for any dataset
+// this system will see while remaining compact in indexes and recipes.
+const Size = 20
+
+// FP is a chunk fingerprint.
+type FP [Size]byte
+
+// Algorithm selects the hash used to fingerprint chunks.
+type Algorithm int
+
+// Supported fingerprint algorithms.
+const (
+	SHA1 Algorithm = iota
+	SHA256
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SHA1:
+		return "sha1"
+	case SHA256:
+		return "sha256"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Of computes the fingerprint of data with the given algorithm. For SHA256
+// the digest is truncated to Size bytes.
+func Of(alg Algorithm, data []byte) FP {
+	var fp FP
+	switch alg {
+	case SHA256:
+		sum := sha256.Sum256(data)
+		copy(fp[:], sum[:Size])
+	default:
+		sum := sha1.Sum(data)
+		copy(fp[:], sum[:])
+	}
+	return fp
+}
+
+// OfBytes computes the default (SHA-1) fingerprint of data.
+func OfBytes(data []byte) FP { return Of(SHA1, data) }
+
+// String returns the hex form of the fingerprint.
+func (f FP) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (f FP) Short() string { return hex.EncodeToString(f[:4]) }
+
+// Uint64 folds the leading 8 bytes into an integer; used for sampling and
+// for bloom-filter derivation.
+func (f FP) Uint64() uint64 { return binary.BigEndian.Uint64(f[:8]) }
+
+// IsZero reports whether f is the zero fingerprint.
+func (f FP) IsZero() bool { return f == FP{} }
+
+// Parse decodes a hex fingerprint produced by String.
+func Parse(s string) (FP, error) {
+	var fp FP
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return fp, fmt.Errorf("fingerprint: parse %q: %w", s, err)
+	}
+	if len(b) != Size {
+		return fp, fmt.Errorf("fingerprint: parse %q: want %d bytes, got %d", s, Size, len(b))
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// Sampler selects representative fingerprints with the mod-R rule.
+// R must be a power of two; R == 1 samples everything.
+type Sampler struct {
+	mask uint64
+}
+
+// NewSampler returns a sampler with ratio 1/r. r is rounded down to a power
+// of two; r < 1 is treated as 1.
+func NewSampler(r int) Sampler {
+	if r < 1 {
+		r = 1
+	}
+	// Round down to a power of two so the mod reduces to a mask.
+	p := 1
+	for p*2 <= r {
+		p *= 2
+	}
+	return Sampler{mask: uint64(p - 1)}
+}
+
+// R returns the effective sampling divisor.
+func (s Sampler) R() int { return int(s.mask) + 1 }
+
+// Sample reports whether fp is representative (fp mod R == 0).
+func (s Sampler) Sample(fp FP) bool { return fp.Uint64()&s.mask == 0 }
+
+// Set is an in-memory fingerprint set.
+type Set map[FP]struct{}
+
+// NewSet returns an empty set with room for n entries.
+func NewSet(n int) Set { return make(Set, n) }
+
+// Add inserts fp and reports whether it was absent.
+func (s Set) Add(fp FP) bool {
+	if _, ok := s[fp]; ok {
+		return false
+	}
+	s[fp] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s Set) Has(fp FP) bool {
+	_, ok := s[fp]
+	return ok
+}
+
+// Len returns the set cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Jaccard estimates the resemblance of two fingerprint sets, |a∩b| / |a∪b|.
+// By Broder's theorem the resemblance of two files is well estimated by the
+// resemblance of their representative samples (paper §III-B).
+func Jaccard(a, b Set) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for fp := range small {
+		if large.Has(fp) {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

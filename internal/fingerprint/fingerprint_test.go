@@ -1,0 +1,139 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOfDeterministicAndDistinct(t *testing.T) {
+	a := OfBytes([]byte("hello"))
+	b := OfBytes([]byte("hello"))
+	c := OfBytes([]byte("hellp"))
+	if a != b {
+		t.Fatal("same content produced different fingerprints")
+	}
+	if a == c {
+		t.Fatal("different content produced equal fingerprints")
+	}
+	if a.IsZero() {
+		t.Fatal("real fingerprint reported zero")
+	}
+	var zero FP
+	if !zero.IsZero() {
+		t.Fatal("zero fingerprint not recognised")
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	data := []byte("some chunk payload")
+	s1 := Of(SHA1, data)
+	s256 := Of(SHA256, data)
+	if s1 == s256 {
+		t.Fatal("SHA1 and SHA256 fingerprints collide on same input")
+	}
+	if SHA1.String() != "sha1" || SHA256.String() != "sha256" {
+		t.Fatalf("algorithm names: %s, %s", SHA1, SHA256)
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm has empty name")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	fp := OfBytes([]byte("x"))
+	got, err := Parse(fp.String())
+	if err != nil || got != fp {
+		t.Fatalf("Parse(String) = %v, %v", got, err)
+	}
+	if _, err := Parse("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := Parse("abcd"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+	if len(fp.Short()) != 8 {
+		t.Fatalf("Short() = %q", fp.Short())
+	}
+}
+
+func TestSampler(t *testing.T) {
+	// R rounds down to a power of two; R<1 clamps to 1.
+	if r := NewSampler(0).R(); r != 1 {
+		t.Fatalf("R(0) = %d", r)
+	}
+	if r := NewSampler(33).R(); r != 32 {
+		t.Fatalf("R(33) = %d", r)
+	}
+	// R=1 samples everything.
+	all := NewSampler(1)
+	for i := 0; i < 100; i++ {
+		if !all.Sample(OfBytes([]byte{byte(i)})) {
+			t.Fatal("R=1 sampler rejected a fingerprint")
+		}
+	}
+	// R=16 samples ~1/16 of random fingerprints.
+	s := NewSampler(16)
+	n := 0
+	const total = 1 << 14
+	for i := 0; i < total; i++ {
+		if s.Sample(OfBytes([]byte{byte(i), byte(i >> 8), 7})) {
+			n++
+		}
+	}
+	want := total / 16
+	if n < want/2 || n > want*2 {
+		t.Fatalf("sampled %d of %d, want ≈%d", n, total, want)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(4)
+	fp := OfBytes([]byte("a"))
+	if !s.Add(fp) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(fp) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !s.Has(fp) || s.Len() != 1 {
+		t.Fatalf("set state wrong: has=%v len=%d", s.Has(fp), s.Len())
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	mk := func(ids ...int) Set {
+		s := NewSet(len(ids))
+		for _, id := range ids {
+			s.Add(OfBytes([]byte{byte(id), byte(id >> 8)}))
+		}
+		return s
+	}
+	if j := Jaccard(mk(1, 2, 3), mk(1, 2, 3)); j != 1 {
+		t.Fatalf("identical sets Jaccard = %f", j)
+	}
+	if j := Jaccard(mk(1, 2), mk(3, 4)); j != 0 {
+		t.Fatalf("disjoint sets Jaccard = %f", j)
+	}
+	if j := Jaccard(mk(1, 2, 3, 4), mk(3, 4, 5, 6)); j != 1.0/3 {
+		t.Fatalf("half-overlap Jaccard = %f", j)
+	}
+	if j := Jaccard(NewSet(0), NewSet(0)); j != 1 {
+		t.Fatalf("empty sets Jaccard = %f", j)
+	}
+}
+
+// Property: fingerprinting is injective-in-practice and stable.
+func TestQuickFingerprint(t *testing.T) {
+	seen := map[FP]string{}
+	f := func(data []byte) bool {
+		fp := OfBytes(data)
+		if prev, ok := seen[fp]; ok {
+			return prev == string(data)
+		}
+		seen[fp] = string(data)
+		return fp == OfBytes(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

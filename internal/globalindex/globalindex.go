@@ -1,0 +1,161 @@
+// Package globalindex maintains the global fingerprint index (paper
+// §III-B): the mapping from every chunk fingerprint of a user to the
+// container storing the chunk, persisted in Rocks-OSS (internal/kvstore).
+//
+// G-node uses it for exact reverse deduplication (§VI-A): newly written
+// chunks are filtered through an in-memory global bloom filter first —
+// unique chunks short-circuit without any OSS access — and only potential
+// duplicates pay an LSM point lookup.
+package globalindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"slimstore/internal/cbf"
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/kvstore"
+	"slimstore/internal/oss"
+)
+
+// Options configure the index.
+type Options struct {
+	// KV tunes the underlying LSM store.
+	KV kvstore.Options
+	// BloomCapacity sizes the global bloom filter (expected distinct
+	// chunks). Default 1<<22 (~4M chunks).
+	BloomCapacity int
+	// BloomFPRate is the filter's false-positive rate. Default 0.01.
+	BloomFPRate float64
+}
+
+// Index is the global fingerprint index. Safe for concurrent use.
+type Index struct {
+	db *kvstore.DB
+
+	mu    sync.Mutex
+	bloom *cbf.Bloom
+	n     int64
+
+	// Stats.
+	bloomSkips int64 // lookups answered "unique" by the filter alone
+	lookups    int64
+}
+
+// Open opens the index over an OSS store, rebuilding the bloom filter from
+// the persisted entries.
+func Open(store oss.Store, opts Options) (*Index, error) {
+	if opts.KV.Prefix == "" {
+		opts.KV.Prefix = "gidx/"
+	}
+	if opts.BloomCapacity <= 0 {
+		opts.BloomCapacity = 1 << 22
+	}
+	if opts.BloomFPRate <= 0 {
+		opts.BloomFPRate = 0.01
+	}
+	db, err := kvstore.Open(store, opts.KV)
+	if err != nil {
+		return nil, fmt.Errorf("globalindex: %w", err)
+	}
+	x := &Index{db: db, bloom: cbf.NewBloom(opts.BloomCapacity, opts.BloomFPRate)}
+	err = db.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) == fingerprint.Size {
+			var fp fingerprint.FP
+			copy(fp[:], k)
+			x.bloom.Add(fp)
+			x.n++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("globalindex: rebuild bloom: %w", err)
+	}
+	return x, nil
+}
+
+// Put records that fp is stored in container id (insert or relocation).
+func (x *Index) Put(fp fingerprint.FP, id container.ID) error {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], uint64(id))
+	if err := x.db.Put(fp[:], v[:]); err != nil {
+		return fmt.Errorf("globalindex: put %s: %w", fp.Short(), err)
+	}
+	x.mu.Lock()
+	if !x.bloom.MayContain(fp) {
+		x.n++
+	}
+	x.bloom.Add(fp)
+	x.mu.Unlock()
+	return nil
+}
+
+// Get returns the container currently holding fp. The bloom filter answers
+// definite misses without touching the LSM store.
+func (x *Index) Get(fp fingerprint.FP) (container.ID, bool, error) {
+	x.mu.Lock()
+	x.lookups++
+	miss := !x.bloom.MayContain(fp)
+	if miss {
+		x.bloomSkips++
+	}
+	x.mu.Unlock()
+	if miss {
+		return container.Invalid, false, nil
+	}
+	v, ok, err := x.db.Get(fp[:])
+	if err != nil {
+		return container.Invalid, false, fmt.Errorf("globalindex: get %s: %w", fp.Short(), err)
+	}
+	if !ok || len(v) != 8 {
+		return container.Invalid, false, nil
+	}
+	return container.ID(binary.LittleEndian.Uint64(v)), true, nil
+}
+
+// Delete removes fp (its chunk no longer exists in any container). The
+// bloom filter cannot delete, so it retains a stale positive until the
+// next Open; correctness is unaffected, only one wasted lookup.
+func (x *Index) Delete(fp fingerprint.FP) error {
+	if err := x.db.Delete(fp[:]); err != nil {
+		return fmt.Errorf("globalindex: delete %s: %w", fp.Short(), err)
+	}
+	return nil
+}
+
+// Scan visits all (fingerprint, container) pairs in fingerprint order.
+func (x *Index) Scan(fn func(fp fingerprint.FP, id container.ID) bool) error {
+	return x.db.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) != fingerprint.Size || len(v) != 8 {
+			return true
+		}
+		var fp fingerprint.FP
+		copy(fp[:], k)
+		return fn(fp, container.ID(binary.LittleEndian.Uint64(v)))
+	})
+}
+
+// Stats reports index activity.
+type Stats struct {
+	Entries    int64
+	Lookups    int64
+	BloomSkips int64
+	KV         kvstore.Stats
+}
+
+// Stats returns a snapshot.
+func (x *Index) Stats() Stats {
+	x.mu.Lock()
+	s := Stats{Entries: x.n, Lookups: x.lookups, BloomSkips: x.bloomSkips}
+	x.mu.Unlock()
+	s.KV = x.db.Stats()
+	return s
+}
+
+// Flush persists the memtable (cheap durability point for offline jobs).
+func (x *Index) Flush() error { return x.db.Flush() }
+
+// Close flushes and closes the underlying store.
+func (x *Index) Close() error { return x.db.Close() }

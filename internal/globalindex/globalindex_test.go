@@ -1,0 +1,107 @@
+package globalindex
+
+import (
+	"fmt"
+	"testing"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+func fpN(n int) fingerprint.FP {
+	return fingerprint.OfBytes([]byte(fmt.Sprintf("chunk-%d", n)))
+}
+
+func TestPutGetDelete(t *testing.T) {
+	x, err := Open(oss.NewMem(), Options{BloomCapacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := x.Put(fpN(i), container.ID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		id, ok, err := x.Get(fpN(i))
+		if err != nil || !ok || id != container.ID(i+1) {
+			t.Fatalf("Get(%d) = %v, %v, %v", i, id, ok, err)
+		}
+	}
+	// Relocation (reverse dedup moves the pointer to the new container).
+	if err := x.Put(fpN(5), 999); err != nil {
+		t.Fatal(err)
+	}
+	id, ok, _ := x.Get(fpN(5))
+	if !ok || id != 999 {
+		t.Fatalf("after relocation Get = %v, %v", id, ok)
+	}
+	// Delete.
+	if err := x.Delete(fpN(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := x.Get(fpN(7)); ok {
+		t.Fatal("deleted fingerprint still resolves")
+	}
+	// Unique chunks short-circuit via the bloom filter.
+	before := x.Stats().BloomSkips
+	for i := 1000; i < 1500; i++ {
+		if _, ok, _ := x.Get(fpN(i)); ok {
+			t.Fatalf("phantom hit for %d", i)
+		}
+	}
+	if x.Stats().BloomSkips-before < 400 {
+		t.Fatalf("bloom skipped only %d of 500 unique lookups", x.Stats().BloomSkips-before)
+	}
+}
+
+func TestReopenRebuildsBloom(t *testing.T) {
+	mem := oss.NewMem()
+	x, _ := Open(mem, Options{BloomCapacity: 1000})
+	for i := 0; i < 50; i++ {
+		x.Put(fpN(i), container.ID(i+1))
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	x2, err := Open(mem, Options{BloomCapacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Stats().Entries != 50 {
+		t.Fatalf("reopened Entries = %d", x2.Stats().Entries)
+	}
+	for i := 0; i < 50; i++ {
+		id, ok, err := x2.Get(fpN(i))
+		if err != nil || !ok || id != container.ID(i+1) {
+			t.Fatalf("reopened Get(%d) = %v, %v, %v", i, id, ok, err)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	x, _ := Open(oss.NewMem(), Options{BloomCapacity: 100})
+	want := map[fingerprint.FP]container.ID{}
+	for i := 0; i < 30; i++ {
+		want[fpN(i)] = container.ID(i + 1)
+		x.Put(fpN(i), container.ID(i+1))
+	}
+	got := map[fingerprint.FP]container.ID{}
+	err := x.Scan(func(fp fingerprint.FP, id container.ID) bool {
+		got[fp] = id
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan found %d entries, want %d", len(got), len(want))
+	}
+	for fp, id := range want {
+		if got[fp] != id {
+			t.Fatalf("scan mismatch for %s", fp.Short())
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package gnode implements SLIMSTORE's offline space-management node
+// (paper §V-B, §VI): global reverse deduplication against the exact
+// fingerprint index, sparse container compaction (SCC), and version
+// collection. All G-node work runs in the background, independent of the
+// online deduplicate/restore path, and is deliberately biased toward new
+// versions: storage reorganisation only ever deletes or moves data that
+// old versions reference, never disturbing the newest version's layout.
+package gnode
+
+import (
+	"fmt"
+	"sort"
+
+	"slimstore/internal/container"
+	"slimstore/internal/core"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/recipe"
+	"slimstore/internal/simclock"
+)
+
+// GNode runs offline space-management jobs against a shared Repo.
+type GNode struct {
+	repo *core.Repo
+	acct *simclock.Account
+}
+
+// New returns a G-node. Its I/O is charged to an internal account
+// (offline work: never part of online job throughput).
+func New(repo *core.Repo) *GNode {
+	return &GNode{repo: repo, acct: simclock.NewAccount()}
+}
+
+// Account exposes the G-node's resource account (for experiments that
+// report offline costs).
+func (g *GNode) Account() *simclock.Account { return g.acct }
+
+func (g *GNode) containers() *container.Store { return g.repo.ContainersFor(g.acct) }
+func (g *GNode) recipes() *recipe.Store       { return g.repo.RecipesFor(g.acct) }
+
+// ---------------------------------------------------------------------------
+// Global reverse deduplication (§VI-A).
+
+// ReverseDedupStats reports one reverse-deduplication pass.
+type ReverseDedupStats struct {
+	ContainersScanned   int
+	ChunksScanned       int
+	BloomSkips          int64 // unique chunks filtered without an index read
+	DuplicatesRemoved   int   // old copies marked deleted
+	BytesDeduplicated   int64 // payload bytes of removed old copies
+	IndexInserts        int   // first-copy registrations
+	ContainersRewritten int   // old containers physically compacted
+	BytesReclaimed      int64 // physical bytes freed by rewrites
+}
+
+// ReverseDedup filters the chunks of newly written containers through the
+// global index. A chunk already stored in an *older* container is an exact
+// duplicate the L-node missed: the old copy is marked deleted (preserving
+// the new version's layout) and the global index is repointed at the new
+// container. Old containers whose stale proportion crosses the configured
+// threshold are physically rewritten.
+func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, error) {
+	stats := &ReverseDedupStats{}
+	cs := g.containers()
+	gi := g.repo.Global
+
+	dirtyMeta := make(map[container.ID]*container.Meta)
+	before := gi.Stats().BloomSkips
+
+	for _, id := range newContainers {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			return nil, fmt.Errorf("gnode: reverse dedup: %w", err)
+		}
+		stats.ContainersScanned++
+		for i := range m.Chunks {
+			cm := &m.Chunks[i]
+			if cm.Deleted {
+				continue
+			}
+			stats.ChunksScanned++
+			oldID, found, err := gi.Get(cm.FP)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case !found:
+				// First copy anywhere: register it.
+				if err := gi.Put(cm.FP, id); err != nil {
+					return nil, err
+				}
+				stats.IndexInserts++
+			case oldID == id:
+				// Already registered to this container (idempotent rerun).
+			default:
+				// Exact duplicate. Reverse rule: delete the OLD copy, keep
+				// the new version's layout intact.
+				om := dirtyMeta[oldID]
+				if om == nil {
+					om, err = cs.ReadMeta(oldID)
+					if err != nil {
+						return nil, err
+					}
+					cp := *om
+					cp.Chunks = append([]container.ChunkMeta(nil), om.Chunks...)
+					om = &cp
+					dirtyMeta[oldID] = om
+				}
+				if ocm := om.Find(cm.FP); ocm != nil && !ocm.Deleted {
+					ocm.Deleted = true
+					stats.DuplicatesRemoved++
+					stats.BytesDeduplicated += int64(ocm.Size)
+				}
+				if err := gi.Put(cm.FP, id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	stats.BloomSkips = gi.Stats().BloomSkips - before
+
+	// Persist metadata marks; rewrite containers past the threshold.
+	ids := make([]container.ID, 0, len(dirtyMeta))
+	for id := range dirtyMeta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		m := dirtyMeta[id]
+		if err := cs.WriteMeta(m); err != nil {
+			return nil, err
+		}
+		if m.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
+			freed, err := g.rewriteContainer(cs, m)
+			if err != nil {
+				return nil, err
+			}
+			stats.ContainersRewritten++
+			stats.BytesReclaimed += freed
+		}
+	}
+	return stats, nil
+}
+
+// rewriteContainer physically removes deleted chunks from a container,
+// keeping its ID (recipes referencing surviving chunks stay valid).
+func (g *GNode) rewriteContainer(cs *container.Store, m *container.Meta) (int64, error) {
+	c, err := cs.Read(m.ID)
+	if err != nil {
+		return 0, fmt.Errorf("gnode: rewrite %s: %w", m.ID, err)
+	}
+	// Use the freshest metadata (m) rather than what Read returned: m may
+	// carry marks not yet visible through the cache.
+	nc := &container.Container{Meta: container.Meta{ID: m.ID}}
+	for i := range m.Chunks {
+		cm := &m.Chunks[i]
+		if cm.Deleted {
+			continue
+		}
+		data := c.Data[cm.Offset : int64(cm.Offset)+int64(cm.Size)]
+		nc.Meta.Chunks = append(nc.Meta.Chunks, container.ChunkMeta{
+			FP:     cm.FP,
+			Offset: uint32(len(nc.Data)),
+			Size:   cm.Size,
+		})
+		nc.Data = append(nc.Data, data...)
+	}
+	nc.Meta.DataSize = uint32(len(nc.Data))
+	freed := int64(len(c.Data)) - int64(len(nc.Data))
+	if err := cs.Write(nc); err != nil {
+		return 0, err
+	}
+	return freed, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sparse container compaction (§V-B).
+
+// SCCStats reports one compaction pass.
+type SCCStats struct {
+	SparseContainers int
+	ChunksMoved      int
+	BytesMoved       int64
+	NewContainers    []container.ID
+}
+
+// CompactSparse merges the chunks that (fileID, version) references out of
+// its sparse containers into fresh, dense containers, updates the
+// version's recipe in place, repoints the global index, and associates the
+// drained sparse containers with the version as garbage. The benefit
+// applies to the *current* version immediately (unlike HAR, which rewrites
+// during the next backup).
+func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID) (*SCCStats, error) {
+	stats := &SCCStats{SparseContainers: len(sparse)}
+	if len(sparse) == 0 {
+		return stats, nil
+	}
+	cs := g.containers()
+	rs := g.recipes()
+
+	sparseSet := make(map[container.ID]bool, len(sparse))
+	for _, id := range sparse {
+		sparseSet[id] = true
+	}
+
+	r, err := rs.GetRecipe(fileID, version)
+	if err != nil {
+		return nil, fmt.Errorf("gnode: scc: %w", err)
+	}
+
+	// Collect the fingerprints this version needs from each sparse
+	// container, in recipe order for locality of the new layout.
+	needed := make(map[container.ID][]fingerprint.FP)
+	seen := make(map[fingerprint.FP]bool)
+	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+		if sparseSet[rec.Container] && !seen[rec.FP] {
+			seen[rec.FP] = true
+			needed[rec.Container] = append(needed[rec.Container], rec.FP)
+		}
+		return true
+	})
+
+	// Copy the needed chunks into new containers and mark the originals
+	// deleted (their bytes move to the new version's storage).
+	builder := container.NewBuilder(cs)
+	moved := make(map[fingerprint.FP]container.ID)
+	newSet := make(map[container.ID]bool)
+	for _, id := range sparse {
+		fps := needed[id]
+		if len(fps) == 0 {
+			continue
+		}
+		c, err := cs.Read(id)
+		if err != nil {
+			return nil, fmt.Errorf("gnode: scc read %s: %w", id, err)
+		}
+		meta := c.Meta
+		metaDirty := false
+		for _, fp := range fps {
+			cm := meta.Find(fp)
+			if cm == nil || cm.Deleted {
+				continue // already moved by an earlier pass
+			}
+			data, err := c.ChunkData(cm)
+			if err != nil {
+				return nil, err
+			}
+			nid, err := builder.Add(fp, data)
+			if err != nil {
+				return nil, err
+			}
+			moved[fp] = nid
+			newSet[nid] = true
+			cm.Deleted = true
+			metaDirty = true
+			stats.ChunksMoved++
+			stats.BytesMoved += int64(cm.Size)
+		}
+		if metaDirty {
+			if err := cs.WriteMeta(&meta); err != nil {
+				return nil, err
+			}
+			// The moved bytes are dead weight in the sparse container;
+			// rewrite it physically once past the stale threshold so the
+			// paper's Fig 9 property holds: compaction shrinks the storage
+			// attributable to old versions rather than growing totals.
+			if meta.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
+				if _, err := g.rewriteContainer(cs, &meta); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := builder.Flush(); err != nil {
+		return nil, err
+	}
+	if len(moved) == 0 {
+		return stats, nil
+	}
+
+	// Repoint the global index before the recipe so no window exists where
+	// a redirect would fail.
+	for fp, nid := range moved {
+		if err := g.repo.Global.Put(fp, nid); err != nil {
+			return nil, err
+		}
+	}
+
+	// Update the recipe in place: the restore of this version no longer
+	// touches the sparse containers.
+	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+		if nid, ok := moved[rec.FP]; ok {
+			rec.Container = nid
+		}
+		return true
+	})
+	if _, err := rs.PutRecipe(r); err != nil {
+		return nil, err
+	}
+
+	// Refresh the catalog: container list changes, and the drained sparse
+	// containers become garbage associated with this version (§VI-B).
+	info, err := rs.GetInfo(fileID, version)
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[container.ID]bool)
+	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+		refs[rec.Container] = true
+		return true
+	})
+	info.Containers = info.Containers[:0]
+	for id := range refs {
+		info.Containers = append(info.Containers, id)
+	}
+	sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
+	garbage := make(map[container.ID]bool, len(info.Garbage))
+	for _, id := range info.Garbage {
+		garbage[id] = true
+	}
+	for _, id := range sparse {
+		if !garbage[id] {
+			info.Garbage = append(info.Garbage, id)
+		}
+	}
+	if err := rs.PutInfo(info); err != nil {
+		return nil, err
+	}
+	for id := range newSet {
+		stats.NewContainers = append(stats.NewContainers, id)
+	}
+	sort.Slice(stats.NewContainers, func(a, b int) bool { return stats.NewContainers[a] < stats.NewContainers[b] })
+	return stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// Version collection (§VI-B).
+
+// GCStats reports one version deletion.
+type GCStats struct {
+	GarbageCandidates   int
+	ContainersCollected int
+	BytesReclaimed      int64
+	IndexEntriesRemoved int
+}
+
+// DeleteVersion removes a backup version. The mark phase already ran
+// during backup (garbage containers are associated with the version);
+// here only the sweep runs: candidates still referenced by any live
+// version are kept, the rest are deleted along with their index entries.
+//
+// Versions should be deleted oldest-first (the retention-window pattern
+// the paper assumes); the sweep re-validates references against the live
+// catalog, so out-of-order deletion degrades to keeping extra data, never
+// to losing referenced data.
+func (g *GNode) DeleteVersion(fileID string, version int) (*GCStats, error) {
+	stats := &GCStats{}
+	cs := g.containers()
+	rs := g.recipes()
+
+	info, err := rs.GetInfo(fileID, version)
+	if err != nil {
+		return nil, fmt.Errorf("gnode: delete version: %w", err)
+	}
+	stats.GarbageCandidates = len(info.Garbage)
+
+	// Remove the version's metadata first so the reference scan below
+	// sees only live versions.
+	if err := rs.DeleteRecipe(fileID, version); err != nil {
+		return nil, err
+	}
+	if err := rs.DeleteInfo(fileID, version); err != nil {
+		return nil, err
+	}
+	if err := g.repo.SimIndex.Remove(fileID, version); err != nil {
+		return nil, err
+	}
+
+	if len(info.Garbage) == 0 {
+		return stats, nil
+	}
+	live, err := g.liveContainerRefs(rs)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range info.Garbage {
+		if live[id] {
+			continue // still referenced (e.g. out-of-order deletion)
+		}
+		reclaimed, removed, err := g.dropContainer(cs, id)
+		if err != nil {
+			return nil, err
+		}
+		stats.ContainersCollected++
+		stats.BytesReclaimed += reclaimed
+		stats.IndexEntriesRemoved += removed
+	}
+	return stats, nil
+}
+
+// liveContainerRefs scans the catalog for every container referenced by a
+// live version.
+func (g *GNode) liveContainerRefs(rs *recipe.Store) (map[container.ID]bool, error) {
+	live := make(map[container.ID]bool)
+	files, err := rs.Files()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		versions, err := rs.Versions(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			info, err := rs.GetInfo(f, v)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range info.Containers {
+				live[id] = true
+			}
+		}
+	}
+	return live, nil
+}
+
+// dropContainer deletes a container and its global-index entries.
+func (g *GNode) dropContainer(cs *container.Store, id container.ID) (int64, int, error) {
+	m, err := cs.ReadMeta(id)
+	if err != nil {
+		// Already gone (e.g. swept via another version's garbage list).
+		return 0, 0, nil
+	}
+	removed := 0
+	for i := range m.Chunks {
+		cm := &m.Chunks[i]
+		cur, found, err := g.repo.Global.Get(cm.FP)
+		if err != nil {
+			return 0, 0, err
+		}
+		if found && cur == id {
+			if err := g.repo.Global.Delete(cm.FP); err != nil {
+				return 0, 0, err
+			}
+			removed++
+		}
+	}
+	reclaimed := int64(m.DataSize) + int64(len(container.EncodeMeta(m)))
+	if err := cs.Delete(id); err != nil {
+		return 0, 0, err
+	}
+	return reclaimed, removed, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// AuditStats reports a full mark-and-sweep audit.
+type AuditStats struct {
+	ContainersMarked int
+	ContainersSwept  int
+	BytesReclaimed   int64
+}
+
+// FullSweep is the classic mark-and-sweep fallback (§II): it marks every
+// container reachable from any live recipe — resolving reverse-dedup and
+// SCC redirects through the global index — and deletes the rest. It is an
+// audit/repair tool; normal operation uses the per-version garbage lists.
+func (g *GNode) FullSweep() (*AuditStats, error) {
+	cs := g.containers()
+	rs := g.recipes()
+	marked := make(map[container.ID]bool)
+
+	files, err := rs.Files()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		versions, err := rs.Versions(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			r, err := rs.GetRecipe(f, v)
+			if err != nil {
+				return nil, err
+			}
+			var iterErr error
+			r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+				id := rec.Container
+				m, err := cs.ReadMeta(id)
+				if err == nil {
+					if cm := m.Find(rec.FP); cm != nil && !cm.Deleted {
+						marked[id] = true
+						return true
+					}
+				}
+				// Redirected chunk: mark the relocation target.
+				nid, ok, err := g.repo.Global.Get(rec.FP)
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				if ok {
+					marked[nid] = true
+				}
+				return true
+			})
+			if iterErr != nil {
+				return nil, iterErr
+			}
+		}
+	}
+
+	all, err := cs.List()
+	if err != nil {
+		return nil, err
+	}
+	stats := &AuditStats{ContainersMarked: len(marked)}
+	for _, id := range all {
+		if marked[id] {
+			continue
+		}
+		reclaimed, _, err := g.dropContainer(cs, id)
+		if err != nil {
+			return nil, err
+		}
+		stats.ContainersSwept++
+		stats.BytesReclaimed += reclaimed
+	}
+	return stats, nil
+}

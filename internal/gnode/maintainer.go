@@ -1,0 +1,162 @@
+package gnode
+
+import (
+	"fmt"
+	"sync"
+
+	"slimstore/internal/container"
+)
+
+// Maintainer runs the G-node's work asynchronously, the way the paper
+// deploys it: online backup jobs hand their results to a queue and return
+// immediately; the offline node drains the queue in the background
+// (reverse dedup, then SCC per job), never blocking the online path.
+type Maintainer struct {
+	g *GNode
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []maintJob
+	running bool
+	active  bool // a job is being processed right now
+	stopped bool
+
+	stats MaintStats
+	wg    sync.WaitGroup
+}
+
+type maintJob struct {
+	fileID        string
+	version       int
+	newContainers []container.ID
+	sparse        []container.ID
+}
+
+// MaintStats summarises background processing.
+type MaintStats struct {
+	Enqueued  int
+	Processed int
+	Errors    int
+	LastErr   error
+	Reverse   ReverseDedupStats // accumulated
+	SCC       SCCStats          // accumulated (counts only)
+}
+
+// NewMaintainer returns a stopped maintainer for g.
+func NewMaintainer(g *GNode) *Maintainer {
+	m := &Maintainer{g: g}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Start launches the background worker; idempotent.
+func (m *Maintainer) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running || m.stopped {
+		return
+	}
+	m.running = true
+	m.wg.Add(1)
+	go m.loop()
+}
+
+// Enqueue hands one finished backup to the offline node. It never blocks
+// on G-node work (the paper's decoupling); it returns an error only after
+// Stop.
+func (m *Maintainer) Enqueue(fileID string, version int, newContainers, sparse []container.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("gnode: maintainer stopped")
+	}
+	m.queue = append(m.queue, maintJob{
+		fileID:        fileID,
+		version:       version,
+		newContainers: append([]container.ID(nil), newContainers...),
+		sparse:        append([]container.ID(nil), sparse...),
+	})
+	m.stats.Enqueued++
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *Maintainer) loop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.stopped {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 && m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		job := m.queue[0]
+		m.queue = m.queue[1:]
+		m.active = true
+		m.mu.Unlock()
+
+		rd, err1 := m.g.ReverseDedup(job.newContainers)
+		scc, err2 := m.g.CompactSparse(job.fileID, job.version, job.sparse)
+
+		m.mu.Lock()
+		m.stats.Processed++
+		if err1 != nil || err2 != nil {
+			m.stats.Errors++
+			if err1 != nil {
+				m.stats.LastErr = err1
+			} else {
+				m.stats.LastErr = err2
+			}
+		}
+		if rd != nil {
+			m.stats.Reverse.ContainersScanned += rd.ContainersScanned
+			m.stats.Reverse.ChunksScanned += rd.ChunksScanned
+			m.stats.Reverse.DuplicatesRemoved += rd.DuplicatesRemoved
+			m.stats.Reverse.BytesDeduplicated += rd.BytesDeduplicated
+			m.stats.Reverse.IndexInserts += rd.IndexInserts
+			m.stats.Reverse.ContainersRewritten += rd.ContainersRewritten
+			m.stats.Reverse.BytesReclaimed += rd.BytesReclaimed
+		}
+		if scc != nil {
+			m.stats.SCC.SparseContainers += scc.SparseContainers
+			m.stats.SCC.ChunksMoved += scc.ChunksMoved
+			m.stats.SCC.BytesMoved += scc.BytesMoved
+		}
+		m.active = false
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// Drain blocks until the queue is empty and no job is in flight.
+func (m *Maintainer) Drain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) > 0 || m.active {
+		m.cond.Wait()
+	}
+}
+
+// Stop drains outstanding work and terminates the worker. Further
+// Enqueue calls fail; Stop is idempotent.
+func (m *Maintainer) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.stopped = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (m *Maintainer) Stats() MaintStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,73 @@
+package gnode
+
+import (
+	"bytes"
+	"testing"
+
+	"slimstore/internal/lnode"
+)
+
+func TestMaintainerProcessesInBackground(t *testing.T) {
+	ln, gn, repo, _ := setup(t, testConfig())
+	m := NewMaintainer(gn)
+	m.Start()
+	m.Start() // idempotent
+
+	var stats []*lnode.BackupStats
+	data := genData(80, 1<<20)
+	for v := 0; v < 3; v++ {
+		d := append([]byte{}, data...)
+		copy(d[:64], genData(int64(800+v), 64))
+		st, err := ln.Backup("f", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, st)
+		if err := m.Enqueue(st.FileID, st.Version, st.NewContainers, st.SparseContainers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Drain()
+	ms := m.Stats()
+	if ms.Enqueued != 3 || ms.Processed != 3 || ms.Errors != 0 {
+		t.Fatalf("stats = %+v", ms)
+	}
+	if ms.Reverse.IndexInserts == 0 {
+		t.Fatal("background reverse dedup registered nothing")
+	}
+
+	// Every version still restores after background processing.
+	for v := 0; v < 3; v++ {
+		d := append([]byte{}, data...)
+		copy(d[:64], genData(int64(800+v), 64))
+		if !bytes.Equal(restoreBytes(t, ln, "f", v), d) {
+			t.Fatalf("version %d corrupt after background optimize", v)
+		}
+	}
+
+	m.Stop()
+	m.Stop() // idempotent
+	if err := m.Enqueue("f", 0, nil, nil); err == nil {
+		t.Fatal("enqueue after stop succeeded")
+	}
+	_ = repo
+	_ = stats
+}
+
+func TestMaintainerStopDrainsQueue(t *testing.T) {
+	ln, gn, _, _ := setup(t, testConfig())
+	m := NewMaintainer(gn)
+	st, err := ln.Backup("f", genData(81, 512<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue before Start: the job waits in the queue.
+	if err := m.Enqueue(st.FileID, st.Version, st.NewContainers, st.SparseContainers); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Stop() // must process the queued job before terminating
+	if ms := m.Stats(); ms.Processed != 1 {
+		t.Fatalf("Stop did not drain: %+v", ms)
+	}
+}

@@ -1,0 +1,672 @@
+// Package kvstore implements "Rocks-OSS" (paper §III-B): a log-structured
+// merge-tree key-value store adapted to object storage, used as the global
+// fingerprint index that G-node consults for exact reverse deduplication.
+//
+// The design mirrors a classic LSM engine — write-ahead log, in-memory
+// skiplist memtable, immutable block-based SSTables with per-table bloom
+// filters, a manifest describing the level structure, and leveled
+// compaction — with every persistent structure stored as OSS objects.
+// Point lookups cost at most one ranged OSS read per consulted table (the
+// bloom filter and index block are cached), which is the access profile
+// the paper's G-node depends on.
+package kvstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"slimstore/internal/oss"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("kvstore: closed")
+
+// Options tune the LSM engine.
+type Options struct {
+	// Prefix is the OSS key namespace, default "kv/".
+	Prefix string
+	// MemtableBytes triggers a flush when the memtable grows past it.
+	MemtableBytes int64
+	// WALFlushBytes triggers persisting the WAL buffer as a segment.
+	WALFlushBytes int
+	// L0Threshold is the number of L0 tables that triggers compaction.
+	L0Threshold int
+	// TargetFileBytes is the compaction output table size.
+	TargetFileBytes int64
+	// LevelRatio is the size multiplier between levels.
+	LevelRatio int
+	// MaxLevels bounds the level count (L0..L<MaxLevels-1>).
+	MaxLevels int
+	// BlockCacheBytes bounds the decoded-block LRU cache (0 = default
+	// 8 MiB, negative = disabled).
+	BlockCacheBytes int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Prefix == "" {
+		o.Prefix = "kv/"
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.WALFlushBytes <= 0 {
+		o.WALFlushBytes = 256 << 10
+	}
+	if o.L0Threshold <= 0 {
+		o.L0Threshold = 4
+	}
+	if o.TargetFileBytes <= 0 {
+		o.TargetFileBytes = 4 << 20
+	}
+	if o.LevelRatio <= 0 {
+		o.LevelRatio = 10
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 4
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Puts, Gets, Deletes  int64
+	BloomNegative        int64 // table lookups short-circuited by the filter
+	TableReads           int64 // data block fetches from OSS
+	BlockCacheHits       int64 // data block fetches served from the cache
+	Flushes, Compactions int64
+	TablesLive           int
+	WALSegments          int
+}
+
+// manifest is the persistent level structure, stored as JSON at
+// <prefix>MANIFEST and rewritten atomically on every flush/compaction.
+type manifest struct {
+	NextTable uint64      `json:"next_table"`
+	LastSeq   uint64      `json:"last_seq"`
+	Tables    []tableMeta `json:"tables"`
+}
+
+// DB is the LSM store. All methods are safe for concurrent use.
+type DB struct {
+	store oss.Store
+	opts  Options
+
+	mu      sync.Mutex
+	mem     *skiplist
+	walBuf  []byte
+	walSegs []uint64 // live WAL segment numbers, ascending
+	nextWAL uint64
+	seq     uint64
+	man     manifest
+	readers map[string]*tableReader
+	blocks  *blockCache
+	stats   Stats
+	closed  bool
+}
+
+func (db *DB) tableKey(name string) string { return db.opts.Prefix + "sst/" + name }
+func (db *DB) walKey(n uint64) string      { return fmt.Sprintf("%swal/%016d", db.opts.Prefix, n) }
+func (db *DB) manifestKey() string         { return db.opts.Prefix + "MANIFEST" }
+
+// Open opens or creates a DB over the given OSS store.
+func Open(store oss.Store, opts Options) (*DB, error) {
+	opts.fillDefaults()
+	db := &DB{
+		store:   store,
+		opts:    opts,
+		mem:     newSkiplist(1),
+		readers: make(map[string]*tableReader),
+	}
+	if opts.BlockCacheBytes > 0 {
+		db.blocks = newBlockCache(opts.BlockCacheBytes)
+	}
+	// Load the manifest if present.
+	b, err := store.Get(db.manifestKey())
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(b, &db.man); err != nil {
+			return nil, fmt.Errorf("kvstore: parse manifest: %w", err)
+		}
+	case errors.Is(err, oss.ErrNotFound):
+		// Fresh database.
+	default:
+		return nil, fmt.Errorf("kvstore: read manifest: %w", err)
+	}
+	db.seq = db.man.LastSeq
+
+	// Replay surviving WAL segments (those not deleted by a completed
+	// flush) into the memtable.
+	walKeys, err := store.List(opts.Prefix + "wal/")
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: list wal: %w", err)
+	}
+	sort.Strings(walKeys)
+	for _, k := range walKeys {
+		seg, err := store.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: read wal %s: %w", k, err)
+		}
+		entries, err := decodeWALSegment(seg)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: replay %s: %w", k, err)
+		}
+		for i := range entries {
+			db.mem.insert(entries[i])
+			if entries[i].seq > db.seq {
+				db.seq = entries[i].seq
+			}
+		}
+		n, perr := strconv.ParseUint(strings.TrimPrefix(k, opts.Prefix+"wal/"), 10, 64)
+		if perr == nil {
+			db.walSegs = append(db.walSegs, n)
+			if n >= db.nextWAL {
+				db.nextWAL = n + 1
+			}
+		}
+	}
+	return db, nil
+}
+
+// Put stores a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(entry{key: append([]byte{}, key...), value: append([]byte{}, value...), kind: kindPut})
+}
+
+// Delete removes a key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	return db.write(entry{key: append([]byte{}, key...), kind: kindDelete})
+}
+
+func (db *DB) write(e entry) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	e.seq = db.seq
+	db.walBuf = appendWALRecord(db.walBuf, &e)
+	db.mem.insert(e)
+	if e.kind == kindPut {
+		db.stats.Puts++
+	} else {
+		db.stats.Deletes++
+	}
+	if len(db.walBuf) >= db.opts.WALFlushBytes {
+		if err := db.flushWALLocked(); err != nil {
+			return err
+		}
+	}
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		if err := db.flushMemLocked(); err != nil {
+			return err
+		}
+		return db.maybeCompactLocked()
+	}
+	return nil
+}
+
+// Sync persists buffered WAL records, making all prior writes durable.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushWALLocked()
+}
+
+func (db *DB) flushWALLocked() error {
+	if len(db.walBuf) == 0 {
+		return nil
+	}
+	n := db.nextWAL
+	db.nextWAL++
+	if err := db.store.Put(db.walKey(n), db.walBuf); err != nil {
+		return fmt.Errorf("kvstore: flush wal: %w", err)
+	}
+	db.walSegs = append(db.walSegs, n)
+	db.walBuf = db.walBuf[:0]
+	return nil
+}
+
+// Flush persists the memtable as an L0 table.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushMemLocked(); err != nil {
+		return err
+	}
+	return db.maybeCompactLocked()
+}
+
+func (db *DB) flushMemLocked() error {
+	if db.mem.count == 0 {
+		return nil
+	}
+	// Make sure everything in the memtable is durable before the table
+	// write; a crash mid-flush then replays the WAL.
+	if err := db.flushWALLocked(); err != nil {
+		return err
+	}
+	b := newSSTBuilder()
+	for it := db.mem.iter(); it.valid(); it.next() {
+		b.add(it.cur())
+	}
+	meta, err := db.writeTableLocked(b, 0)
+	if err != nil {
+		return err
+	}
+	db.man.Tables = append(db.man.Tables, meta)
+	db.man.LastSeq = db.seq
+	if err := db.saveManifestLocked(); err != nil {
+		return err
+	}
+	// The flushed table covers every WAL segment; drop them.
+	for _, n := range db.walSegs {
+		if err := db.store.Delete(db.walKey(n)); err != nil {
+			return fmt.Errorf("kvstore: drop wal segment: %w", err)
+		}
+	}
+	db.walSegs = db.walSegs[:0]
+	db.mem = newSkiplist(int64(db.seq))
+	db.stats.Flushes++
+	return nil
+}
+
+func (db *DB) writeTableLocked(b *sstBuilder, level int) (tableMeta, error) {
+	db.man.NextTable++
+	name := fmt.Sprintf("%08d.sst", db.man.NextTable)
+	obj := b.finish()
+	if err := db.store.Put(db.tableKey(name), obj); err != nil {
+		return tableMeta{}, fmt.Errorf("kvstore: write table: %w", err)
+	}
+	return tableMeta{
+		Name:     name,
+		Level:    level,
+		Size:     int64(len(obj)),
+		Count:    b.count,
+		Smallest: string(b.smallest),
+		Largest:  string(b.largest),
+		MaxSeq:   b.maxSeq,
+	}, nil
+}
+
+func (db *DB) saveManifestLocked() error {
+	b, err := json.Marshal(&db.man)
+	if err != nil {
+		return fmt.Errorf("kvstore: encode manifest: %w", err)
+	}
+	if err := db.store.Put(db.manifestKey(), b); err != nil {
+		return fmt.Errorf("kvstore: save manifest: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) readerLocked(meta tableMeta) (*tableReader, error) {
+	if r, ok := db.readers[meta.Name]; ok {
+		return r, nil
+	}
+	r, err := db.openTable(meta)
+	if err != nil {
+		return nil, err
+	}
+	db.readers[meta.Name] = r
+	return r, nil
+}
+
+// Get returns the value for key. found is false for missing or deleted keys.
+func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	db.stats.Gets++
+	if e, ok := db.mem.get(key); ok {
+		if e.kind == kindDelete {
+			return nil, false, nil
+		}
+		return append([]byte{}, e.value...), true, nil
+	}
+	// L0: newest table first.
+	l0 := db.tablesAtLocked(0)
+	sort.Slice(l0, func(i, j int) bool { return l0[i].MaxSeq > l0[j].MaxSeq })
+	for _, meta := range l0 {
+		e, ok, err := db.tableGetLocked(meta, key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.kind == kindDelete {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
+	// Deeper levels: tables are disjoint; binary search by range.
+	for level := 1; level < db.opts.MaxLevels; level++ {
+		tables := db.tablesAtLocked(level)
+		i := sort.Search(len(tables), func(i int) bool {
+			return tables[i].Largest >= string(key)
+		})
+		if i < len(tables) && tables[i].Smallest <= string(key) {
+			e, ok, err := db.tableGetLocked(tables[i], key)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				if e.kind == kindDelete {
+					return nil, false, nil
+				}
+				return e.value, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+func (db *DB) tableGetLocked(meta tableMeta, key []byte) (entry, bool, error) {
+	r, err := db.readerLocked(meta)
+	if err != nil {
+		return entry{}, false, err
+	}
+	if !r.filter.mayContain(key) {
+		db.stats.BloomNegative++
+		return entry{}, false, nil
+	}
+	db.stats.TableReads++
+	return r.get(key)
+}
+
+// tablesAtLocked returns the tables at a level sorted by smallest key.
+func (db *DB) tablesAtLocked(level int) []tableMeta {
+	var out []tableMeta
+	for _, t := range db.man.Tables {
+		if t.Level == level {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Smallest < out[j].Smallest })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+
+func (db *DB) levelTarget(level int) int64 {
+	t := db.opts.TargetFileBytes * int64(db.opts.LevelRatio)
+	for i := 1; i < level; i++ {
+		t *= int64(db.opts.LevelRatio)
+	}
+	return t
+}
+
+func (db *DB) maybeCompactLocked() error {
+	for {
+		did := false
+		if len(db.tablesAtLocked(0)) >= db.opts.L0Threshold {
+			if err := db.compactLevelLocked(0); err != nil {
+				return err
+			}
+			did = true
+		}
+		for level := 1; level < db.opts.MaxLevels-1; level++ {
+			var size int64
+			for _, t := range db.tablesAtLocked(level) {
+				size += t.Size
+			}
+			if size > db.levelTarget(level) {
+				if err := db.compactLevelLocked(level); err != nil {
+					return err
+				}
+				did = true
+			}
+		}
+		if !did {
+			return nil
+		}
+	}
+}
+
+// Compact forces a full compaction pass (flush + push everything down one
+// level at a time until stable). Useful in tests and before space audits.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushMemLocked(); err != nil {
+		return err
+	}
+	for level := 0; level < db.opts.MaxLevels-1; level++ {
+		if len(db.tablesAtLocked(level)) > 0 {
+			if err := db.compactLevelLocked(level); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func overlaps(aMin, aMax, bMin, bMax string) bool {
+	return aMin <= bMax && bMin <= aMax
+}
+
+func (db *DB) compactLevelLocked(level int) error {
+	outLevel := level + 1
+	if outLevel >= db.opts.MaxLevels {
+		return nil
+	}
+
+	// Inputs: at L0 every table (they may overlap each other); at deeper
+	// levels the first table by key order.
+	var inputs []tableMeta
+	if level == 0 {
+		inputs = db.tablesAtLocked(0)
+	} else {
+		ts := db.tablesAtLocked(level)
+		if len(ts) == 0 {
+			return nil
+		}
+		inputs = ts[:1]
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	min, max := inputs[0].Smallest, inputs[0].Largest
+	for _, t := range inputs[1:] {
+		if t.Smallest < min {
+			min = t.Smallest
+		}
+		if t.Largest > max {
+			max = t.Largest
+		}
+	}
+	for _, t := range db.tablesAtLocked(outLevel) {
+		if overlaps(min, max, t.Smallest, t.Largest) {
+			inputs = append(inputs, t)
+		}
+	}
+
+	// Merge all input entries in internal order.
+	var all []entry
+	for _, meta := range inputs {
+		r, err := db.readerLocked(meta)
+		if err != nil {
+			return err
+		}
+		es, err := r.allEntries()
+		if err != nil {
+			return err
+		}
+		all = append(all, es...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return internalLess(&all[i], &all[j]) })
+
+	// Keep only the newest version of each key; drop tombstones when the
+	// output is the bottom level (nothing deeper can be shadowed).
+	bottom := outLevel == db.opts.MaxLevels-1 || !db.hasTablesBelowLocked(outLevel)
+	var outTables []tableMeta
+	b := newSSTBuilder()
+	var prevKey []byte
+	flushOut := func() error {
+		if b.count == 0 {
+			return nil
+		}
+		meta, err := db.writeTableLocked(b, outLevel)
+		if err != nil {
+			return err
+		}
+		outTables = append(outTables, meta)
+		b = newSSTBuilder()
+		return nil
+	}
+	for i := range all {
+		e := &all[i]
+		if prevKey != nil && bytes.Equal(e.key, prevKey) {
+			continue // older version of the same key
+		}
+		prevKey = e.key
+		if e.kind == kindDelete && bottom {
+			continue
+		}
+		b.add(e)
+		if int64(b.buf.Len()) >= db.opts.TargetFileBytes {
+			if err := flushOut(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushOut(); err != nil {
+		return err
+	}
+
+	// Install: drop inputs, add outputs, persist, delete input objects.
+	dead := make(map[string]bool, len(inputs))
+	for _, t := range inputs {
+		dead[t.Name] = true
+	}
+	kept := db.man.Tables[:0]
+	for _, t := range db.man.Tables {
+		if !dead[t.Name] {
+			kept = append(kept, t)
+		}
+	}
+	db.man.Tables = append(kept, outTables...)
+	if err := db.saveManifestLocked(); err != nil {
+		return err
+	}
+	for name := range dead {
+		delete(db.readers, name)
+		db.blocks.drop(name)
+		if err := db.store.Delete(db.tableKey(name)); err != nil {
+			return fmt.Errorf("kvstore: delete compacted table: %w", err)
+		}
+	}
+	db.stats.Compactions++
+	return nil
+}
+
+func (db *DB) hasTablesBelowLocked(level int) bool {
+	for _, t := range db.man.Tables {
+		if t.Level > level {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+
+// Scan visits live key-value pairs with start <= key < end in key order
+// (end == nil means unbounded). fn returning false stops the scan.
+func (db *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	// Gather all sources into one merged slice. Simple and correct; scans
+	// are used by offline jobs (G-node audits), not the hot path.
+	var all []entry
+	for it := db.mem.iter(); it.valid(); it.next() {
+		all = append(all, *it.cur())
+	}
+	for _, meta := range db.man.Tables {
+		if end != nil && meta.Smallest >= string(end) {
+			continue
+		}
+		if start != nil && meta.Largest < string(start) {
+			continue
+		}
+		r, err := db.readerLocked(meta)
+		if err != nil {
+			return err
+		}
+		es, err := r.allEntries()
+		if err != nil {
+			return err
+		}
+		all = append(all, es...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return internalLess(&all[i], &all[j]) })
+	var prevKey []byte
+	for i := range all {
+		e := &all[i]
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(e.key, end) >= 0 {
+			break
+		}
+		if prevKey != nil && bytes.Equal(e.key, prevKey) {
+			continue
+		}
+		prevKey = e.key
+		if e.kind == kindDelete {
+			continue
+		}
+		if !fn(e.key, e.value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.stats
+	s.TablesLive = len(db.man.Tables)
+	s.WALSegments = len(db.walSegs)
+	return s
+}
+
+// Close flushes buffered WAL records and marks the DB closed. The memtable
+// is intentionally not flushed to a table: recovery replays the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.flushWALLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	return nil
+}

@@ -1,0 +1,209 @@
+package kvstore
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+)
+
+// Iterator streams live key-value pairs in ascending key order without
+// materialising the whole keyspace (unlike Scan, which is a convenience
+// for small offline jobs). It merges the memtable and every table with a
+// k-way heap, resolving shadowed versions and tombstones on the fly.
+//
+// The iterator holds a consistent view of the tables captured at creation
+// time; concurrent writes to the memtable after NewIterator are not
+// reflected. It must not outlive a Compact call (tables may be deleted).
+type Iterator struct {
+	h      iterHeap
+	curKey []byte
+	curVal []byte
+	err    error
+	valid  bool
+	end    []byte
+}
+
+// source is one sorted input to the merge.
+type source struct {
+	entries []entry // table sources are decoded eagerly per table
+	pos     int
+	mem     *memIter // non-nil for the memtable source
+	// age breaks ties between sources holding equal (key, seq) — lower is
+	// newer. Seq already orders versions, so age is a final guard only.
+	age int
+}
+
+func (s *source) current() (*entry, bool) {
+	if s.mem != nil {
+		if !s.mem.valid() {
+			return nil, false
+		}
+		return s.mem.cur(), true
+	}
+	if s.pos >= len(s.entries) {
+		return nil, false
+	}
+	return &s.entries[s.pos], true
+}
+
+func (s *source) advance() {
+	if s.mem != nil {
+		s.mem.next()
+		return
+	}
+	s.pos++
+}
+
+type iterHeap []*source
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	a, _ := h[i].current()
+	b, _ := h[j].current()
+	if c := bytes.Compare(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	if a.seq != b.seq {
+		return a.seq > b.seq // newer first
+	}
+	return h[i].age < h[j].age
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(*source)) }
+func (h *iterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// NewIterator returns an iterator over live keys in [start, end) (nil
+// bounds are open). Call Next to position on the first pair.
+func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	it := &Iterator{end: append([]byte(nil), end...)}
+	if end == nil {
+		it.end = nil
+	}
+
+	mi := db.mem.iter()
+	if start != nil {
+		mi.seekGE(start)
+	}
+	age := 0
+	if _, ok := mi.cur2(); ok {
+		it.h = append(it.h, &source{mem: mi, age: age})
+	}
+	age++
+
+	// Tables, newest first so the age tie-break is correct.
+	tables := append([]tableMeta(nil), db.man.Tables...)
+	for _, meta := range tables {
+		if start != nil && meta.Largest < string(start) {
+			continue
+		}
+		if end != nil && meta.Smallest >= string(end) {
+			continue
+		}
+		r, err := db.readerLocked(meta)
+		if err != nil {
+			return nil, err
+		}
+		es, err := r.allEntries()
+		if err != nil {
+			return nil, err
+		}
+		s := &source{entries: es, age: age}
+		age++
+		if start != nil {
+			for s.pos < len(s.entries) && bytes.Compare(s.entries[s.pos].key, start) < 0 {
+				s.pos++
+			}
+		}
+		if _, ok := s.current(); ok {
+			it.h = append(it.h, s)
+		}
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// cur2 is a helper for memIter presence checks.
+func (it *memIter) cur2() (*entry, bool) {
+	if !it.valid() {
+		return nil, false
+	}
+	return it.cur(), true
+}
+
+// Next advances to the next live key. It returns false at the end of the
+// range or on error (check Err).
+func (it *Iterator) Next() bool {
+	for len(it.h) > 0 {
+		top := it.h[0]
+		e, ok := top.current()
+		if !ok {
+			heap.Pop(&it.h)
+			continue
+		}
+		// Capture and advance past every version of this key.
+		key := append([]byte(nil), e.key...)
+		newest := *e
+		for len(it.h) > 0 {
+			top := it.h[0]
+			cur, ok := top.current()
+			if !ok {
+				heap.Pop(&it.h)
+				continue
+			}
+			if !bytes.Equal(cur.key, key) {
+				break
+			}
+			top.advance()
+			if _, ok := top.current(); ok {
+				heap.Fix(&it.h, 0)
+			} else {
+				heap.Pop(&it.h)
+			}
+		}
+		if it.end != nil && bytes.Compare(key, it.end) >= 0 {
+			it.h = it.h[:0]
+			it.valid = false
+			return false
+		}
+		if newest.kind == kindDelete {
+			continue // tombstoned key
+		}
+		it.curKey = key
+		it.curVal = append([]byte(nil), newest.value...)
+		it.valid = true
+		return true
+	}
+	it.valid = false
+	return false
+}
+
+// Key returns the current key; valid only after Next returned true.
+func (it *Iterator) Key() []byte { return it.curKey }
+
+// Value returns the current value; valid only after Next returned true.
+func (it *Iterator) Value() []byte { return it.curVal }
+
+// Err reports a deferred iteration error.
+func (it *Iterator) Err() error { return it.err }
+
+// Valid reports whether the iterator is positioned on a pair.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// String aids debugging.
+func (it *Iterator) String() string {
+	if !it.valid {
+		return "iterator{invalid}"
+	}
+	return fmt.Sprintf("iterator{%q}", it.curKey)
+}

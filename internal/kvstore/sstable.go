@@ -1,0 +1,409 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// SSTable on-disk format (one OSS object per table):
+//
+//	[data block]*  [filter block]  [index block]  [footer]
+//
+// Data block entries, little endian:
+//
+//	klen u32 | key | seq u64 | kind u8 | vlen u32 | value
+//
+// Index block:
+//
+//	count u32 | ( klen u32 | firstKey | off u64 | len u64 )*
+//
+// Filter block: a bloom filter over user keys:
+//
+//	mBits u32 | k u32 | words u64*
+//
+// Footer (fixed 40 bytes at the object's tail):
+//
+//	filterOff u64 | filterLen u64 | indexOff u64 | indexLen u64 | magic u64
+//
+// Point lookups read the footer+index+filter once (cached by tableReader)
+// and then fetch a single data block with a ranged OSS read, mirroring how
+// Rocks-OSS serves G-node lookups with one remote read per miss.
+
+const (
+	sstMagic        = uint64(0x534C4D53_53540001) // "SLMSST" + version
+	targetBlockSize = 16 << 10
+	footerSize      = 40
+)
+
+// entryKind distinguishes puts from deletion tombstones.
+type entryKind uint8
+
+const (
+	kindPut entryKind = iota
+	kindDelete
+)
+
+// entry is an internal LSM entry.
+type entry struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	kind  entryKind
+}
+
+// ---------------------------------------------------------------------------
+// Key bloom filter (over arbitrary byte keys; cbf works on fingerprints).
+
+type keyBloom struct {
+	words []uint64
+	mBits uint32
+	k     uint32
+}
+
+func newKeyBloom(n int, bitsPerKey int) *keyBloom {
+	if n < 1 {
+		n = 1
+	}
+	m := n * bitsPerKey
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(bitsPerKey) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 12 {
+		k = 12
+	}
+	return &keyBloom{words: make([]uint64, (m+63)/64), mBits: uint32(m), k: uint32(k)}
+}
+
+func keyHash2(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	h2 |= 1
+	return h1, h2
+}
+
+func (b *keyBloom) add(key []byte) {
+	h1, h2 := keyHash2(key)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % uint64(b.mBits)
+		b.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *keyBloom) mayContain(key []byte) bool {
+	h1, h2 := keyHash2(key)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % uint64(b.mBits)
+		if b.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *keyBloom) encode() []byte {
+	buf := make([]byte, 8+8*len(b.words))
+	binary.LittleEndian.PutUint32(buf, b.mBits)
+	binary.LittleEndian.PutUint32(buf[4:], b.k)
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return buf
+}
+
+func decodeKeyBloom(buf []byte) (*keyBloom, error) {
+	if len(buf) < 8 || (len(buf)-8)%8 != 0 {
+		return nil, fmt.Errorf("kvstore: bad filter block size %d", len(buf))
+	}
+	b := &keyBloom{
+		mBits: binary.LittleEndian.Uint32(buf),
+		k:     binary.LittleEndian.Uint32(buf[4:]),
+		words: make([]uint64, (len(buf)-8)/8),
+	}
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(buf[8+8*i:])
+	}
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+
+type blockHandle struct {
+	firstKey []byte
+	off, n   uint64
+}
+
+// sstBuilder serialises a sorted entry stream into the table format.
+type sstBuilder struct {
+	buf      bytes.Buffer
+	block    bytes.Buffer
+	blockKey []byte
+	index    []blockHandle
+	keys     [][]byte
+	count    int
+	smallest []byte
+	largest  []byte
+	maxSeq   uint64
+}
+
+func newSSTBuilder() *sstBuilder { return &sstBuilder{} }
+
+// add appends an entry; entries must arrive in internal order.
+func (b *sstBuilder) add(e *entry) {
+	if b.smallest == nil {
+		b.smallest = append([]byte{}, e.key...)
+	}
+	b.largest = append(b.largest[:0], e.key...)
+	if e.seq > b.maxSeq {
+		b.maxSeq = e.seq
+	}
+	if b.block.Len() == 0 {
+		b.blockKey = append([]byte{}, e.key...)
+	}
+	var hdr [4 + 8 + 1 + 4]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(e.key)))
+	b.block.Write(hdr[:4])
+	b.block.Write(e.key)
+	binary.LittleEndian.PutUint64(hdr[0:], e.seq)
+	hdr[8] = byte(e.kind)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(e.value)))
+	b.block.Write(hdr[:13])
+	b.block.Write(e.value)
+	b.keys = append(b.keys, append([]byte{}, e.key...))
+	b.count++
+	if b.block.Len() >= targetBlockSize {
+		b.finishBlock()
+	}
+}
+
+func (b *sstBuilder) finishBlock() {
+	if b.block.Len() == 0 {
+		return
+	}
+	b.index = append(b.index, blockHandle{
+		firstKey: b.blockKey,
+		off:      uint64(b.buf.Len()),
+		n:        uint64(b.block.Len()),
+	})
+	b.buf.Write(b.block.Bytes())
+	b.block.Reset()
+	b.blockKey = nil
+}
+
+// finish completes the table and returns the serialized object.
+func (b *sstBuilder) finish() []byte {
+	b.finishBlock()
+
+	filter := newKeyBloom(len(b.keys), 10)
+	for _, k := range b.keys {
+		filter.add(k)
+	}
+	filterOff := uint64(b.buf.Len())
+	fb := filter.encode()
+	b.buf.Write(fb)
+
+	indexOff := uint64(b.buf.Len())
+	var idx bytes.Buffer
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(b.index)))
+	idx.Write(tmp[:4])
+	for _, h := range b.index {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(h.firstKey)))
+		idx.Write(tmp[:4])
+		idx.Write(h.firstKey)
+		binary.LittleEndian.PutUint64(tmp[:], h.off)
+		idx.Write(tmp[:])
+		binary.LittleEndian.PutUint64(tmp[:], h.n)
+		idx.Write(tmp[:])
+	}
+	b.buf.Write(idx.Bytes())
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], filterOff)
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(fb)))
+	binary.LittleEndian.PutUint64(footer[16:], indexOff)
+	binary.LittleEndian.PutUint64(footer[24:], uint64(idx.Len()))
+	binary.LittleEndian.PutUint64(footer[32:], sstMagic)
+	b.buf.Write(footer[:])
+	return b.buf.Bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+// tableMeta describes one SSTable in the manifest.
+type tableMeta struct {
+	Name     string `json:"name"`
+	Level    int    `json:"level"`
+	Size     int64  `json:"size"`
+	Count    int    `json:"count"`
+	Smallest string `json:"smallest"` // hex-free: raw string of key bytes
+	Largest  string `json:"largest"`
+	MaxSeq   uint64 `json:"max_seq"`
+}
+
+// tableReader serves lookups from one SSTable, caching the index and
+// filter blocks in memory while fetching data blocks on demand.
+type tableReader struct {
+	db     *DB
+	meta   tableMeta
+	index  []blockHandle
+	filter *keyBloom
+}
+
+func (db *DB) openTable(meta tableMeta) (*tableReader, error) {
+	key := db.tableKey(meta.Name)
+	foot, err := db.store.GetRange(key, meta.Size-footerSize, footerSize)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: footer: %w", meta.Name, err)
+	}
+	if len(foot) != footerSize || binary.LittleEndian.Uint64(foot[32:]) != sstMagic {
+		return nil, fmt.Errorf("kvstore: open %s: bad footer", meta.Name)
+	}
+	filterOff := binary.LittleEndian.Uint64(foot[0:])
+	filterLen := binary.LittleEndian.Uint64(foot[8:])
+	indexOff := binary.LittleEndian.Uint64(foot[16:])
+	indexLen := binary.LittleEndian.Uint64(foot[24:])
+
+	fb, err := db.store.GetRange(key, int64(filterOff), int64(filterLen))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: filter: %w", meta.Name, err)
+	}
+	filter, err := decodeKeyBloom(fb)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", meta.Name, err)
+	}
+	ib, err := db.store.GetRange(key, int64(indexOff), int64(indexLen))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: index: %w", meta.Name, err)
+	}
+	index, err := decodeIndexBlock(ib)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", meta.Name, err)
+	}
+	return &tableReader{db: db, meta: meta, index: index, filter: filter}, nil
+}
+
+func decodeIndexBlock(b []byte) ([]blockHandle, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("kvstore: index block too short")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	p := 4
+	out := make([]blockHandle, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < p+4 {
+			return nil, fmt.Errorf("kvstore: truncated index block")
+		}
+		klen := int(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+		if len(b) < p+klen+16 {
+			return nil, fmt.Errorf("kvstore: truncated index entry")
+		}
+		h := blockHandle{firstKey: append([]byte{}, b[p:p+klen]...)}
+		p += klen
+		h.off = binary.LittleEndian.Uint64(b[p:])
+		h.n = binary.LittleEndian.Uint64(b[p+8:])
+		p += 16
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// decodeBlockEntries parses all entries of one data block.
+func decodeBlockEntries(b []byte) ([]entry, error) {
+	var out []entry
+	p := 0
+	for p < len(b) {
+		if len(b) < p+4 {
+			return nil, fmt.Errorf("kvstore: truncated block entry")
+		}
+		klen := int(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+		if len(b) < p+klen+13 {
+			return nil, fmt.Errorf("kvstore: truncated block entry")
+		}
+		e := entry{key: append([]byte{}, b[p:p+klen]...)}
+		p += klen
+		e.seq = binary.LittleEndian.Uint64(b[p:])
+		e.kind = entryKind(b[p+8])
+		vlen := int(binary.LittleEndian.Uint32(b[p+9:]))
+		p += 13
+		if len(b) < p+vlen {
+			return nil, fmt.Errorf("kvstore: truncated block value")
+		}
+		e.value = append([]byte{}, b[p:p+vlen]...)
+		p += vlen
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// blockFor returns the index of the data block that may contain key.
+func (t *tableReader) blockFor(key []byte) int {
+	// Last block whose firstKey <= key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].firstKey, key) > 0
+	})
+	return i - 1
+}
+
+// get looks up the newest entry for key in this table, consulting the
+// DB-wide block cache before reading the block from OSS.
+func (t *tableReader) get(key []byte) (entry, bool, error) {
+	if !t.filter.mayContain(key) {
+		return entry{}, false, nil
+	}
+	bi := t.blockFor(key)
+	if bi < 0 {
+		return entry{}, false, nil
+	}
+	h := t.index[bi]
+	ck := blockKey{table: t.meta.Name, off: h.off}
+	entries, cached := t.db.blocks.get(ck)
+	if cached {
+		t.db.stats.BlockCacheHits++
+	} else {
+		blk, err := t.db.store.GetRange(t.db.tableKey(t.meta.Name), int64(h.off), int64(h.n))
+		if err != nil {
+			return entry{}, false, fmt.Errorf("kvstore: read block of %s: %w", t.meta.Name, err)
+		}
+		entries, err = decodeBlockEntries(blk)
+		if err != nil {
+			return entry{}, false, err
+		}
+		t.db.blocks.put(ck, entries, int64(h.n))
+	}
+	// Entries are in internal order: key ASC, seq DESC → first match wins.
+	for i := range entries {
+		if bytes.Equal(entries[i].key, key) {
+			return entries[i], true, nil
+		}
+	}
+	return entry{}, false, nil
+}
+
+// allEntries streams every entry of the table in order (used by compaction
+// and range iteration). It reads the whole data region in one request.
+func (t *tableReader) allEntries() ([]entry, error) {
+	if len(t.index) == 0 {
+		return nil, nil
+	}
+	last := t.index[len(t.index)-1]
+	dataLen := int64(last.off + last.n)
+	b, err := t.db.store.GetRange(t.db.tableKey(t.meta.Name), 0, dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read %s: %w", t.meta.Name, err)
+	}
+	return decodeBlockEntries(b)
+}

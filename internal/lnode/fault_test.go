@@ -1,0 +1,175 @@
+package lnode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"slimstore/internal/core"
+	"slimstore/internal/gnode"
+	"slimstore/internal/oss"
+)
+
+// These tests inject storage faults and verify the system fails loudly,
+// leaves no corrupted state behind, and recovers via the audit sweep.
+
+func TestBackupFailsWhenOSSDies(t *testing.T) {
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	repo, err := core.OpenRepo(faulty, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(repo, "l0")
+
+	// Let a handful of container writes land, then cut the connection.
+	faulty.FailPutsAfter(3)
+	if _, err := n.Backup("f", genData(50, 4<<20)); !errors.Is(err, oss.ErrInjected) {
+		t.Fatalf("backup error = %v, want injected fault", err)
+	}
+
+	// The failed backup must not have registered a version.
+	faulty.Clear()
+	if vs, _ := repo.Recipes.Versions("f"); len(vs) != 0 {
+		t.Fatalf("failed backup registered versions %v", vs)
+	}
+
+	// Orphaned containers from the dead job are reclaimed by the audit.
+	gn := gnode.New(repo)
+	audit, err := gn.FullSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.ContainersSwept == 0 {
+		t.Fatal("audit found no orphans after a mid-backup crash")
+	}
+
+	// A retry on the healed store succeeds and restores correctly.
+	data := genData(50, 4<<20)
+	st, err := n.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 0 {
+		t.Fatalf("retry version = %d", st.Version)
+	}
+	if !bytes.Equal(restoreBytes(t, n, "f", 0), data) {
+		t.Fatal("post-recovery restore corrupt")
+	}
+}
+
+func TestRestorePropagatesReadFaults(t *testing.T) {
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	repo, err := core.OpenRepo(faulty, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(repo, "l0")
+	if _, err := n.Backup("f", genData(51, 2<<20)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail reads of the first container's payload.
+	keys, _ := mem.List("containers/")
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".data") {
+			faulty.FailGet(k)
+			break
+		}
+	}
+	if _, err := n.Restore("f", 0, io.Discard); !errors.Is(err, oss.ErrInjected) {
+		t.Fatalf("restore error = %v, want injected fault", err)
+	}
+}
+
+func TestVerifyRestoreCatchesCorruption(t *testing.T) {
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	cfg := testConfig()
+	cfg.VerifyRestore = true
+	cfg.PrefetchThreads = 0
+	repo, err := core.OpenRepo(faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(repo, "l0")
+	data := genData(52, 2<<20)
+	if _, err := n.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Clean restore passes verification.
+	if !bytes.Equal(restoreBytes(t, n, "f", 0), data) {
+		t.Fatal("clean verified restore corrupt")
+	}
+	// Bit-rot in a container payload must be detected, not returned.
+	keys, _ := mem.List("containers/")
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".data") {
+			faulty.CorruptReads(k)
+		}
+	}
+	_, err = n.Restore("f", 0, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted restore error = %v, want verification failure", err)
+	}
+}
+
+func TestVerifyRestoreOffReturnsCorruptBytes(t *testing.T) {
+	// Control experiment for the test above: without verification the
+	// corruption flows through silently — which is why the flag exists.
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	cfg := testConfig()
+	cfg.VerifyRestore = false
+	cfg.PrefetchThreads = 0
+	repo, err := core.OpenRepo(faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(repo, "l0")
+	data := genData(53, 1<<20)
+	if _, err := n.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := mem.List("containers/")
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".data") {
+			faulty.CorruptReads(k)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := n.Restore("f", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("corruption injection had no effect")
+	}
+}
+
+func TestGnodeFaultPropagation(t *testing.T) {
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	repo, err := core.OpenRepo(faulty, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(repo, "l0")
+	st, err := n.Backup("f", genData(54, 2<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse dedup must surface meta-read failures.
+	keys, _ := mem.List("containers/")
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".meta") {
+			faulty.FailGet(k)
+		}
+	}
+	repo.Containers.InvalidateMeta(st.NewContainers[0])
+	gn := gnode.New(repo)
+	if _, err := gn.ReverseDedup(st.NewContainers); err == nil {
+		t.Fatal("reverse dedup swallowed a read fault")
+	}
+}

@@ -1,0 +1,135 @@
+package lnode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slimstore/internal/core"
+	"slimstore/internal/gnode"
+	"slimstore/internal/oss"
+)
+
+// Property: for ANY sequence of random mutations across ANY number of
+// versions, with the full pipeline enabled (skip chunking, merging,
+// reverse dedup, SCC) every version restores byte-identically and the
+// audit finds nothing to sweep. This is the system's end-to-end safety
+// invariant.
+func TestQuickFullPipelineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	run := func(seed int64, nVersions, churn uint8) bool {
+		versions := int(nVersions)%5 + 2
+		changes := int(churn)%30 + 1
+
+		cfg := testConfig()
+		cfg.MergeThreshold = 2 // make merging fire within few versions
+		repo, err := core.OpenRepo(oss.NewMem(), cfg)
+		if err != nil {
+			return false
+		}
+		ln := New(repo, "l0")
+		gn := gnode.New(repo)
+
+		data := genData(seed, 1<<20)
+		var kept [][]byte
+		for v := 0; v < versions; v++ {
+			kept = append(kept, append([]byte{}, data...))
+			st, err := ln.Backup("f", data)
+			if err != nil {
+				t.Logf("backup v%d: %v", v, err)
+				return false
+			}
+			if _, err := gn.ReverseDedup(st.NewContainers); err != nil {
+				t.Logf("reverse dedup v%d: %v", v, err)
+				return false
+			}
+			if _, err := gn.CompactSparse("f", v, st.SparseContainers); err != nil {
+				t.Logf("scc v%d: %v", v, err)
+				return false
+			}
+			data = mutate(data, seed^int64(v+1)*7919, changes)
+		}
+		for v, want := range kept {
+			var buf bytes.Buffer
+			if _, err := ln.Restore("f", v, &buf); err != nil {
+				t.Logf("restore v%d: %v", v, err)
+				return false
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Logf("version %d corrupt", v)
+				return false
+			}
+			if _, err := ln.Verify("f", v); err != nil {
+				t.Logf("verify v%d: %v", v, err)
+				return false
+			}
+		}
+		audit, err := gn.FullSweep()
+		if err != nil || audit.ContainersSwept != 0 {
+			t.Logf("audit: %+v, %v", audit, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{
+		MaxCount: 8,
+		Rand:     rand.New(rand.NewSource(99)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deleting any prefix of versions never affects the survivors.
+func TestQuickRetentionSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	run := func(seed int64, delPrefix uint8) bool {
+		const versions = 5
+		cfg := testConfig()
+		repo, err := core.OpenRepo(oss.NewMem(), cfg)
+		if err != nil {
+			return false
+		}
+		ln := New(repo, "l0")
+		gn := gnode.New(repo)
+
+		data := genData(seed, 512<<10)
+		var kept [][]byte
+		for v := 0; v < versions; v++ {
+			kept = append(kept, append([]byte{}, data...))
+			if _, err := ln.Backup("f", data); err != nil {
+				return false
+			}
+			data = mutate(data, seed^int64(v+100), 8)
+		}
+		del := int(delPrefix) % versions // delete versions [0, del)
+		for v := 0; v < del; v++ {
+			if _, err := gn.DeleteVersion("f", v); err != nil {
+				t.Logf("delete v%d: %v", v, err)
+				return false
+			}
+		}
+		for v := del; v < versions; v++ {
+			var buf bytes.Buffer
+			if _, err := ln.Restore("f", v, &buf); err != nil {
+				t.Logf("restore v%d after deleting [0,%d): %v", v, del, err)
+				return false
+			}
+			if !bytes.Equal(buf.Bytes(), kept[v]) {
+				t.Logf("survivor v%d corrupt", v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{
+		MaxCount: 8,
+		Rand:     rand.New(rand.NewSource(7)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

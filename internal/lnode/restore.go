@@ -1,0 +1,172 @@
+package lnode
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"slimstore/internal/cache"
+	"slimstore/internal/container"
+	"slimstore/internal/recipe"
+	"slimstore/internal/simclock"
+)
+
+// RestoreStats reports one restore job.
+type RestoreStats struct {
+	FileID  string
+	Version int
+
+	Bytes     int64
+	Cache     cache.Stats
+	Redirects int // chunks relocated by reverse dedup / SCC (old versions)
+
+	PrefetchThreads int
+	Account         *simclock.Account
+	Elapsed         time.Duration
+}
+
+// ThroughputMBps is the restore throughput in MB/s of virtual time.
+func (s *RestoreStats) ThroughputMBps() float64 {
+	return simclock.ThroughputMBps(s.Bytes, s.Elapsed)
+}
+
+// Restore streams a backup version to w, using the configured cache
+// policy and LAW-based prefetching (§V-A).
+func (n *LNode) Restore(fileID string, version int, w io.Writer) (*RestoreStats, error) {
+	return n.restore(fileID, version, w, n.repo.Config.VerifyRestore)
+}
+
+// Verify restores a version to a null sink with per-chunk fingerprint
+// verification forced on, reporting integrity without materialising data.
+func (n *LNode) Verify(fileID string, version int) (*RestoreStats, error) {
+	return n.restore(fileID, version, io.Discard, true)
+}
+
+func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*RestoreStats, error) {
+	acct := simclock.NewAccount()
+	cfg := &n.repo.Config
+	recipes := n.repo.RecipesFor(acct)
+	containers := n.repo.ContainersFor(acct)
+
+	r, err := recipes.GetRecipe(fileID, version)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RestoreStats{
+		FileID: fileID, Version: version,
+		PrefetchThreads: cfg.PrefetchThreads,
+		Account:         acct,
+	}
+
+	seq, redirects, err := n.resolveSequence(containers, r, acct)
+	if err != nil {
+		return nil, err
+	}
+	stats.Redirects = redirects
+
+	policy, err := cache.New(cfg.RestorePolicy, cache.Config{
+		MemBytes:  cfg.CacheMemBytes,
+		DiskBytes: cfg.CacheDiskBytes,
+		DiskDir:   cfg.CacheDiskDir,
+		LAW:       cfg.LAWChunks,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fetch := cache.Fetcher(func(id container.ID) (*container.Container, error) {
+		return containers.Read(id)
+	})
+	threads := cfg.PrefetchThreads
+	if threads > 0 && cfg.RestorePolicy == "fv" {
+		pf := cache.NewPrefetcher(fetch, seq, threads, threads*2)
+		defer pf.Close()
+		fetch = pf.Fetch
+	}
+
+	pos := 0
+	cstats, err := policy.Restore(seq, fetch, func(data []byte) error {
+		acct.ChargeCPUBytes(simclock.PhaseOther, int64(len(data)), cfg.Costs.RestorePerByte)
+		if verify {
+			if got := n.repo.Fingerprint(acct, data); got != seq[pos].FP {
+				return fmt.Errorf("lnode: verify %s v%d: chunk %d corrupt (got %s, want %s)",
+					fileID, version, pos, got.Short(), seq[pos].FP.Short())
+			}
+		}
+		pos++
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lnode: restore %s v%d: %w", fileID, version, err)
+	}
+	// Two-layer cache disk traffic costs local-disk time, not OSS time.
+	acct.ChargeCPUBytes(simclock.PhaseOther,
+		cstats.DiskHitBytes+cstats.DiskSwapBytes, cfg.Costs.DiskCachePerByte)
+
+	stats.Bytes = cstats.LogicalBytes
+	stats.Cache = cstats
+	if threads > 0 {
+		// LAW prefetching overlaps OSS reads with the restore pipeline
+		// across `threads` parallel channels (§V-A, Table II).
+		stats.Elapsed = acct.ElapsedOverlapped(threads)
+	} else {
+		stats.Elapsed = acct.ElapsedSequential()
+	}
+	return stats, nil
+}
+
+// resolveSequence converts a recipe into the restore request sequence,
+// redirecting chunks whose original copy was deleted by reverse
+// deduplication or sparse-container compaction. The redirect pays one
+// global-index query per moved chunk — the cost the paper accepts for old
+// versions (§VI-A).
+func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, error) {
+	seq := make([]cache.Request, 0, r.NumChunks())
+	redirects := 0
+	var iterErr error
+	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+		req := cache.Request{FP: rec.FP, Container: rec.Container, Size: rec.Size}
+		m, err := containers.ReadMeta(rec.Container)
+		switch {
+		case err == nil:
+			if cm := m.Find(rec.FP); cm == nil || cm.Deleted {
+				// Moved: consult the global index.
+				acct.ChargeCPU(simclock.PhaseIndexQuery, n.repo.Config.Costs.IndexLookup)
+				id, ok, gerr := n.repo.Global.Get(rec.FP)
+				if gerr != nil {
+					iterErr = gerr
+					return false
+				}
+				if !ok {
+					iterErr = fmt.Errorf("lnode: chunk %s of %s v%d lost (container %s)",
+						rec.FP.Short(), r.FileID, r.Version, rec.Container)
+					return false
+				}
+				req.Container = id
+				redirects++
+			}
+		default:
+			// Container gone entirely (compacted away): redirect.
+			acct.ChargeCPU(simclock.PhaseIndexQuery, n.repo.Config.Costs.IndexLookup)
+			id, ok, gerr := n.repo.Global.Get(rec.FP)
+			if gerr != nil {
+				iterErr = gerr
+				return false
+			}
+			if !ok {
+				iterErr = fmt.Errorf("lnode: chunk %s of %s v%d lost with container %s",
+					rec.FP.Short(), r.FileID, r.Version, rec.Container)
+				return false
+			}
+			req.Container = id
+			redirects++
+		}
+		seq = append(seq, req)
+		return true
+	})
+	if iterErr != nil {
+		return nil, 0, iterErr
+	}
+	return seq, redirects, nil
+}

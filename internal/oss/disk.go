@@ -1,0 +1,186 @@
+package oss
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is a Store backed by a local directory. Object keys map to files;
+// key path segments are percent-free hex-escaped where needed so arbitrary
+// keys are safe on any filesystem.
+type Disk struct {
+	root string
+	mu   sync.RWMutex // serialises multi-step operations (put = write+rename)
+}
+
+// NewDisk returns a store rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oss: create root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+// escapeSeg makes one key segment filesystem-safe.
+func escapeSeg(seg string) string {
+	safe := true
+	for i := 0; i < len(seg); i++ {
+		c := seg[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		safe = false
+		break
+	}
+	if safe && seg != "" && seg != "." && seg != ".." && !strings.HasPrefix(seg, "=") {
+		return seg
+	}
+	return "=" + hex.EncodeToString([]byte(seg))
+}
+
+func unescapeSeg(seg string) string {
+	if !strings.HasPrefix(seg, "=") {
+		return seg
+	}
+	b, err := hex.DecodeString(seg[1:])
+	if err != nil {
+		return seg
+	}
+	return string(b)
+}
+
+func (s *Disk) path(key string) string {
+	segs := strings.Split(key, "/")
+	for i, seg := range segs {
+		segs[i] = escapeSeg(seg)
+	}
+	return filepath.Join(append([]string{s.root}, segs...)...)
+}
+
+// Put implements Store. Writes are atomic via temp file + rename.
+func (s *Disk) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("oss: put %s: %w", key, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("oss: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("oss: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *Disk) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("oss: get %s: %w", key, err)
+	}
+	return b, nil
+}
+
+// GetRange implements Store.
+func (s *Disk) GetRange(key string, off, n int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("oss: get range %s: %w", key, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("oss: get range %s: %w", key, err)
+	}
+	size := st.Size()
+	if off < 0 || off > size {
+		return nil, fmt.Errorf("oss: range [%d,+%d) out of bounds for %s (size %d)", off, n, key, size)
+	}
+	end := size
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	buf := make([]byte, end-off)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("oss: get range %s: %w", key, err)
+	}
+	return buf, nil
+}
+
+// Head implements Store.
+func (s *Disk) Head(key string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, err := os.Stat(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return 0, fmt.Errorf("oss: head %s: %w", key, err)
+	}
+	return st.Size(), nil
+}
+
+// Delete implements Store.
+func (s *Disk) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("oss: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *Disk) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		segs := strings.Split(filepath.ToSlash(rel), "/")
+		for i, seg := range segs {
+			segs[i] = unescapeSeg(seg)
+		}
+		key := strings.Join(segs, "/")
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oss: list %q: %w", prefix, err)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package oss
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected marks failures produced by a Faulty store.
+var ErrInjected = errors.New("oss: injected fault")
+
+// Faulty wraps a Store and injects deterministic failures, for testing
+// error propagation and crash-recovery paths (a put that never lands, a
+// flaky read, a store that dies after N operations). All knobs are safe
+// for concurrent use.
+type Faulty struct {
+	inner Store
+
+	mu       sync.Mutex
+	failPuts map[string]bool // keys whose Put fails
+	failGets map[string]bool // keys whose Get/GetRange fails
+	putsLeft int             // if >= 0, number of Puts allowed before all fail
+	opCount  int64
+	corrupt  map[string]bool // keys whose reads return flipped bytes
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{
+		inner:    inner,
+		failPuts: make(map[string]bool),
+		failGets: make(map[string]bool),
+		putsLeft: -1,
+		corrupt:  make(map[string]bool),
+	}
+}
+
+// FailPut arms a failure for every Put of key.
+func (f *Faulty) FailPut(key string) {
+	f.mu.Lock()
+	f.failPuts[key] = true
+	f.mu.Unlock()
+}
+
+// FailGet arms a failure for every Get/GetRange of key.
+func (f *Faulty) FailGet(key string) {
+	f.mu.Lock()
+	f.failGets[key] = true
+	f.mu.Unlock()
+}
+
+// FailPutsAfter lets n more Puts succeed, then fails every subsequent Put
+// (simulating the node losing its OSS connection mid-backup).
+func (f *Faulty) FailPutsAfter(n int) {
+	f.mu.Lock()
+	f.putsLeft = n
+	f.mu.Unlock()
+}
+
+// CorruptReads makes reads of key return bit-flipped data (for integrity
+// verification tests).
+func (f *Faulty) CorruptReads(key string) {
+	f.mu.Lock()
+	f.corrupt[key] = true
+	f.mu.Unlock()
+}
+
+// Clear disarms every fault.
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	f.failPuts = make(map[string]bool)
+	f.failGets = make(map[string]bool)
+	f.corrupt = make(map[string]bool)
+	f.putsLeft = -1
+	f.mu.Unlock()
+}
+
+// Ops returns the number of operations observed.
+func (f *Faulty) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opCount
+}
+
+func (f *Faulty) putAllowed(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opCount++
+	if f.failPuts[key] {
+		return fmt.Errorf("%w: put %s", ErrInjected, key)
+	}
+	if f.putsLeft == 0 {
+		return fmt.Errorf("%w: put budget exhausted at %s", ErrInjected, key)
+	}
+	if f.putsLeft > 0 {
+		f.putsLeft--
+	}
+	return nil
+}
+
+func (f *Faulty) getCheck(key string) (corrupt bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opCount++
+	if f.failGets[key] {
+		return false, fmt.Errorf("%w: get %s", ErrInjected, key)
+	}
+	return f.corrupt[key], nil
+}
+
+// Put implements Store.
+func (f *Faulty) Put(key string, data []byte) error {
+	if err := f.putAllowed(key); err != nil {
+		return err
+	}
+	return f.inner.Put(key, data)
+}
+
+// Get implements Store.
+func (f *Faulty) Get(key string) ([]byte, error) {
+	corrupt, err := f.getCheck(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := f.inner.Get(key)
+	if err == nil && corrupt && len(b) > 0 {
+		b[len(b)/2] ^= 0xFF
+	}
+	return b, err
+}
+
+// GetRange implements Store.
+func (f *Faulty) GetRange(key string, off, n int64) ([]byte, error) {
+	corrupt, err := f.getCheck(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := f.inner.GetRange(key, off, n)
+	if err == nil && corrupt && len(b) > 0 {
+		b[len(b)/2] ^= 0xFF
+	}
+	return b, err
+}
+
+// Head implements Store.
+func (f *Faulty) Head(key string) (int64, error) {
+	if _, err := f.getCheck(key); err != nil {
+		return 0, err
+	}
+	return f.inner.Head(key)
+}
+
+// Delete implements Store.
+func (f *Faulty) Delete(key string) error {
+	f.mu.Lock()
+	f.opCount++
+	f.mu.Unlock()
+	return f.inner.Delete(key)
+}
+
+// List implements Store.
+func (f *Faulty) List(prefix string) ([]string, error) {
+	f.mu.Lock()
+	f.opCount++
+	f.mu.Unlock()
+	return f.inner.List(prefix)
+}

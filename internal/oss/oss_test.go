@@ -1,0 +1,316 @@
+package oss
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slimstore/internal/simclock"
+)
+
+// storeUnderTest runs the full Store contract against an implementation.
+func storeUnderTest(t *testing.T, s Store) {
+	t.Helper()
+
+	// Missing key behaviour.
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Head("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Head(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("nope"); err != nil {
+		t.Fatalf("Delete(missing) = %v, want nil", err)
+	}
+
+	// Round trip.
+	data := []byte("hello, object storage")
+	if err := s.Put("a/b/c", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	n, err := s.Head("a/b/c")
+	if err != nil || n != int64(len(data)) {
+		t.Fatalf("Head = %d, %v; want %d", n, err, len(data))
+	}
+
+	// Overwrite.
+	if err := s.Put("a/b/c", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("a/b/c")
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q, want v2", got)
+	}
+
+	// Ranges.
+	if err := s.Put("r", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"}, {3, 4, "3456"}, {5, -1, "56789"}, {9, 100, "9"}, {10, 5, ""},
+	} {
+		got, err := s.GetRange("r", tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("GetRange(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if string(got) != tc.want {
+			t.Fatalf("GetRange(%d,%d) = %q, want %q", tc.off, tc.n, got, tc.want)
+		}
+	}
+	if _, err := s.GetRange("r", -1, 2); err == nil {
+		t.Fatal("GetRange(-1) should fail")
+	}
+	if _, err := s.GetRange("r", 11, 2); err == nil {
+		t.Fatal("GetRange past end should fail")
+	}
+
+	// List with prefix, lexicographic order.
+	for _, k := range []string{"p/2", "p/1", "q/1", "p/10"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("p/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p/1", "p/10", "p/2"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("List(p/) = %v, want %v", keys, want)
+	}
+
+	// Delete removes from listing.
+	if err := s.Delete("p/10"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = s.List("p/")
+	if !reflect.DeepEqual(keys, []string{"p/1", "p/2"}) {
+		t.Fatalf("List after delete = %v", keys)
+	}
+
+	// Odd keys survive escaping.
+	odd := "weird key/with spaces/and:colons/..dots"
+	if err := s.Put(odd, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(odd)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("odd key round trip failed: %q, %v", got, err)
+	}
+}
+
+func TestMemStore(t *testing.T) { storeUnderTest(t, NewMem()) }
+
+func TestDiskStore(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeUnderTest(t, s)
+}
+
+func TestHTTPStore(t *testing.T) {
+	backend := NewMem()
+	srv := httptest.NewServer(NewServer(backend))
+	defer srv.Close()
+	storeUnderTest(t, NewClient(srv.URL, srv.Client()))
+}
+
+func TestMemIsolation(t *testing.T) {
+	s := NewMem()
+	data := []byte{1, 2, 3}
+	s.Put("k", data)
+	data[0] = 99
+	got, _ := s.Get("k")
+	if got[0] != 1 {
+		t.Fatal("Put did not copy the caller's buffer")
+	}
+	got[1] = 99
+	got2, _ := s.Get("k")
+	if got2[1] != 2 {
+		t.Fatal("Get returned shared memory")
+	}
+}
+
+func TestMemConcurrency(t *testing.T) {
+	s := NewMem()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i%10)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				s.List(fmt.Sprintf("w%d/", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMeteredAccounting(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	acct := simclock.NewAccount()
+	s := NewMetered(NewMem(), costs, acct)
+
+	payload := make([]byte, 1<<20)
+	if err := s.Put("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	io := acct.IO()
+	if io.Writes != 1 || io.Reads != 1 {
+		t.Fatalf("io counters: %+v", io)
+	}
+	if io.WriteBytes != 1<<20 || io.ReadBytes != 1<<20 {
+		t.Fatalf("io bytes: %+v", io)
+	}
+	// Time model: latency + size/bandwidth.
+	wantRead := costs.OSSRequestLatency + time.Duration(float64(1<<20)/costs.OSSReadBandwidth*float64(time.Second))
+	if d := io.ReadTime - wantRead; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("read time %v, want %v", io.ReadTime, wantRead)
+	}
+
+	// Misses are not charged.
+	before := acct.IO().Reads
+	s.Get("missing")
+	if acct.IO().Reads != before {
+		t.Fatal("failed Get was charged")
+	}
+
+	// WithAccount charges the other account against the same data.
+	acct2 := simclock.NewAccount()
+	s2 := s.WithAccount(acct2)
+	if _, err := s2.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if acct2.IO().Reads != 1 {
+		t.Fatal("WithAccount did not charge the new account")
+	}
+	if acct.IO().Reads != before {
+		t.Fatal("WithAccount still charged the old account")
+	}
+}
+
+func TestMemTotals(t *testing.T) {
+	s := NewMem()
+	s.Put("containers/1", make([]byte, 100))
+	s.Put("containers/2", make([]byte, 50))
+	s.Put("recipes/a", make([]byte, 7))
+	if got := s.TotalBytes(); got != 157 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	if got := s.BytesWithPrefix("containers/"); got != 150 {
+		t.Fatalf("BytesWithPrefix = %d", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		off, n int64
+		ok     bool
+	}{
+		{"bytes=0-3", 0, 4, true},
+		{"bytes=5-", 5, -1, true},
+		{"bytes=9-9", 9, 1, true},
+		{"bytes=-5", 0, 0, false},
+		{"bytes=a-b", 0, 0, false},
+		{"bytes=5-3", 0, 0, false},
+	}
+	for _, c := range cases {
+		off, n, ok := parseRange(c.in)
+		if ok != c.ok || (ok && (off != c.off || n != c.n)) {
+			t.Errorf("parseRange(%q) = %d,%d,%v; want %d,%d,%v", c.in, off, n, ok, c.off, c.n, c.ok)
+		}
+	}
+}
+
+// Property: put/get round-trips arbitrary contents across all backends.
+func TestQuickRoundTrip(t *testing.T) {
+	mem := NewMem()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		key := fmt.Sprintf("k/%d", i)
+		for _, s := range []Store{mem, disk} {
+			if err := s.Put(key, data); err != nil {
+				return false
+			}
+			got, err := s.Get(key)
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixedIsolation(t *testing.T) {
+	base := NewMem()
+	a := NewPrefixed(base, "tenant-a")
+	b := NewPrefixed(base, "tenant-b/")
+
+	if err := a.Put("containers/C1", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("containers/C1", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get("containers/C1")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("tenant-a read = %q, %v", got, err)
+	}
+	got, _ = b.Get("containers/C1")
+	if string(got) != "beta" {
+		t.Fatalf("tenant-b read = %q", got)
+	}
+	// Lists are namespaced and keys come back unprefixed.
+	keys, err := a.List("containers/")
+	if err != nil || len(keys) != 1 || keys[0] != "containers/C1" {
+		t.Fatalf("tenant-a list = %v, %v", keys, err)
+	}
+	// Physical layout is prefixed.
+	phys, _ := base.List("tenant-a/")
+	if len(phys) != 1 || phys[0] != "tenant-a/containers/C1" {
+		t.Fatalf("physical keys = %v", phys)
+	}
+	// The full Store contract holds under a prefix.
+	storeUnderTest(t, NewPrefixed(NewMem(), "x"))
+}

@@ -1,0 +1,52 @@
+package oss
+
+import "strings"
+
+// Prefixed namespaces a Store under a fixed key prefix, isolating tenants
+// on one physical object store (the paper's global index is per user; one
+// bucket-per-user deployment maps to one Prefixed view per user).
+type Prefixed struct {
+	inner  Store
+	prefix string
+}
+
+// NewPrefixed wraps inner under prefix (a trailing "/" is added if
+// missing). An empty prefix returns a pass-through view.
+func NewPrefixed(inner Store, prefix string) *Prefixed {
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &Prefixed{inner: inner, prefix: prefix}
+}
+
+func (p *Prefixed) key(k string) string { return p.prefix + k }
+
+// Put implements Store.
+func (p *Prefixed) Put(key string, data []byte) error { return p.inner.Put(p.key(key), data) }
+
+// Get implements Store.
+func (p *Prefixed) Get(key string) ([]byte, error) { return p.inner.Get(p.key(key)) }
+
+// GetRange implements Store.
+func (p *Prefixed) GetRange(key string, off, n int64) ([]byte, error) {
+	return p.inner.GetRange(p.key(key), off, n)
+}
+
+// Head implements Store.
+func (p *Prefixed) Head(key string) (int64, error) { return p.inner.Head(p.key(key)) }
+
+// Delete implements Store.
+func (p *Prefixed) Delete(key string) error { return p.inner.Delete(p.key(key)) }
+
+// List implements Store.
+func (p *Prefixed) List(prefix string) ([]string, error) {
+	keys, err := p.inner.List(p.key(prefix))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, strings.TrimPrefix(k, p.prefix))
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package oss
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry wraps a Store with bounded retries and exponential backoff for
+// transient failures — production resilience for the HTTP backend, whose
+// requests can fail on network blips. Not-found errors never retry.
+//
+// The sleeper is injectable so tests (and the virtual-time harness) avoid
+// real sleeping.
+type Retry struct {
+	inner    Store
+	attempts int
+	base     time.Duration
+	sleep    func(time.Duration)
+
+	// IsTransient classifies retryable errors; the default retries
+	// everything except ErrNotFound.
+	IsTransient func(error) bool
+}
+
+// NewRetry wraps inner with `attempts` total tries (minimum 1) and
+// exponential backoff starting at base. sleep may be nil for time.Sleep.
+func NewRetry(inner Store, attempts int, base time.Duration, sleep func(time.Duration)) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Retry{
+		inner:    inner,
+		attempts: attempts,
+		base:     base,
+		sleep:    sleep,
+		IsTransient: func(err error) bool {
+			return !errors.Is(err, ErrNotFound)
+		},
+	}
+}
+
+// do runs op with retries.
+func (r *Retry) do(what string, op func() error) error {
+	delay := r.base
+	var err error
+	for i := 0; i < r.attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if !r.IsTransient(err) {
+			return err // permanent (e.g. not found): caller sees it as-is
+		}
+		if i == r.attempts-1 {
+			break
+		}
+		r.sleep(delay)
+		delay *= 2
+	}
+	return fmt.Errorf("oss: %s failed after %d attempts: %w", what, r.attempts, err)
+}
+
+// Put implements Store.
+func (r *Retry) Put(key string, data []byte) error {
+	return r.do("put "+key, func() error { return r.inner.Put(key, data) })
+}
+
+// Get implements Store.
+func (r *Retry) Get(key string) (b []byte, err error) {
+	err = r.do("get "+key, func() error {
+		b, err = r.inner.Get(key)
+		return err
+	})
+	return b, err
+}
+
+// GetRange implements Store.
+func (r *Retry) GetRange(key string, off, n int64) (b []byte, err error) {
+	err = r.do("get range "+key, func() error {
+		b, err = r.inner.GetRange(key, off, n)
+		return err
+	})
+	return b, err
+}
+
+// Head implements Store.
+func (r *Retry) Head(key string) (n int64, err error) {
+	err = r.do("head "+key, func() error {
+		n, err = r.inner.Head(key)
+		return err
+	})
+	return n, err
+}
+
+// Delete implements Store.
+func (r *Retry) Delete(key string) error {
+	return r.do("delete "+key, func() error { return r.inner.Delete(key) })
+}
+
+// List implements Store.
+func (r *Retry) List(prefix string) (keys []string, err error) {
+	err = r.do("list "+prefix, func() error {
+		keys, err = r.inner.List(prefix)
+		return err
+	})
+	return keys, err
+}

@@ -1,0 +1,93 @@
+package recipe
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot groups the file versions captured by one backup session (the
+// paper's "full-volume backup uploaded at intervals"): restoring or
+// expiring a point in time means acting on the snapshot's members as a
+// unit instead of tracking per-file version numbers by hand.
+type Snapshot struct {
+	ID      string           `json:"id"`
+	Members []SnapshotMember `json:"members"`
+	// TotalBytes is the logical size of the snapshot (sum of members).
+	TotalBytes int64 `json:"total_bytes"`
+}
+
+// SnapshotMember is one file version inside a snapshot.
+type SnapshotMember struct {
+	FileID  string `json:"file_id"`
+	Version int    `json:"version"`
+	Bytes   int64  `json:"bytes"`
+}
+
+const snapshotPrefix = "snapshots/"
+
+func snapshotKey(id string) string {
+	return snapshotPrefix + hex.EncodeToString([]byte(id))
+}
+
+// PutSnapshot persists a snapshot manifest. Members are stored sorted for
+// deterministic round trips.
+func (s *Store) PutSnapshot(snap *Snapshot) error {
+	if snap.ID == "" {
+		return fmt.Errorf("recipe: snapshot needs an ID")
+	}
+	cp := *snap
+	cp.Members = append([]SnapshotMember(nil), snap.Members...)
+	sort.Slice(cp.Members, func(i, j int) bool { return cp.Members[i].FileID < cp.Members[j].FileID })
+	cp.TotalBytes = 0
+	for _, m := range cp.Members {
+		cp.TotalBytes += m.Bytes
+	}
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("recipe: encode snapshot %s: %w", snap.ID, err)
+	}
+	if err := s.oss.Put(snapshotKey(snap.ID), b); err != nil {
+		return fmt.Errorf("recipe: put snapshot %s: %w", snap.ID, err)
+	}
+	return nil
+}
+
+// GetSnapshot loads a snapshot manifest.
+func (s *Store) GetSnapshot(id string) (*Snapshot, error) {
+	b, err := s.oss.Get(snapshotKey(id))
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get snapshot %s: %w", id, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("recipe: decode snapshot %s: %w", id, err)
+	}
+	return &snap, nil
+}
+
+// DeleteSnapshot removes a manifest (not its member versions; version
+// collection handles those).
+func (s *Store) DeleteSnapshot(id string) error {
+	return s.oss.Delete(snapshotKey(id))
+}
+
+// Snapshots lists snapshot IDs in lexicographic order.
+func (s *Store) Snapshots() ([]string, error) {
+	keys, err := s.oss.List(snapshotPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: list snapshots: %w", err)
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		raw, err := hex.DecodeString(strings.TrimPrefix(k, snapshotPrefix))
+		if err != nil {
+			continue
+		}
+		out = append(out, string(raw))
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,317 @@
+package recipe
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slimstore/internal/container"
+	"slimstore/internal/oss"
+)
+
+// OSS key namespaces.
+const (
+	recipePrefix  = "recipes/"
+	catalogPrefix = "catalog/"
+)
+
+func fileKey(fileID string) string { return hex.EncodeToString([]byte(fileID)) }
+
+func recipeKey(fileID string, version int) string {
+	return fmt.Sprintf("%s%s/%08d.recipe", recipePrefix, fileKey(fileID), version)
+}
+func indexKey(fileID string, version int) string {
+	return fmt.Sprintf("%s%s/%08d.index", recipePrefix, fileKey(fileID), version)
+}
+func infoKey(fileID string, version int) string {
+	return fmt.Sprintf("%s%s/%08d.info", catalogPrefix, fileKey(fileID), version)
+}
+
+// Store persists recipes, recipe indexes and the version catalog on OSS.
+type Store struct {
+	oss oss.Store
+}
+
+// NewStore opens a recipe store over an OSS store.
+func NewStore(s oss.Store) *Store { return &Store{oss: s} }
+
+// PutRecipe persists a full recipe and returns the serialized size.
+func (s *Store) PutRecipe(r *Recipe) (int, error) {
+	b := Encode(r)
+	if err := s.oss.Put(recipeKey(r.FileID, r.Version), b); err != nil {
+		return 0, fmt.Errorf("recipe: put %s v%d: %w", r.FileID, r.Version, err)
+	}
+	return len(b), nil
+}
+
+// GetRecipe fetches a full recipe.
+func (s *Store) GetRecipe(fileID string, version int) (*Recipe, error) {
+	b, err := s.oss.Get(recipeKey(fileID, version))
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get %s v%d: %w", fileID, version, err)
+	}
+	r, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get %s v%d: %w", fileID, version, err)
+	}
+	return r, nil
+}
+
+// DeleteRecipe removes a recipe and its index.
+func (s *Store) DeleteRecipe(fileID string, version int) error {
+	if err := s.oss.Delete(recipeKey(fileID, version)); err != nil {
+		return err
+	}
+	return s.oss.Delete(indexKey(fileID, version))
+}
+
+// SegmentReader fetches individual segment recipes of one file version
+// with ranged reads, without downloading the whole recipe — the lightweight
+// prefetch L-node performs per matched sample (paper §IV-A STEP 2).
+type SegmentReader struct {
+	store *Store
+	key   string
+	dir   *directory
+}
+
+// OpenSegments reads only the recipe directory (header) of a version.
+func (s *Store) OpenSegments(fileID string, version int) (*SegmentReader, error) {
+	key := recipeKey(fileID, version)
+	// The directory is at the head of the object. Fetch a generous fixed
+	// prefix first; fall back to the exact size if the header is larger.
+	const headGuess = 64 << 10
+	b, err := s.oss.GetRange(key, 0, headGuess)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: open segments %s v%d: %w", fileID, version, err)
+	}
+	d, err := decodeDirectory(b)
+	if err != nil {
+		// Retry with the full object (tiny recipes or huge directories).
+		b, err2 := s.oss.Get(key)
+		if err2 != nil {
+			return nil, fmt.Errorf("recipe: open segments %s v%d: %w", fileID, version, err2)
+		}
+		d, err = decodeDirectory(b)
+		if err != nil {
+			return nil, fmt.Errorf("recipe: open segments %s v%d: %w", fileID, version, err)
+		}
+	}
+	return &SegmentReader{store: s, key: key, dir: d}, nil
+}
+
+// NumSegments returns how many segments the recipe has.
+func (r *SegmentReader) NumSegments() int { return len(r.dir.segments) }
+
+// Fetch retrieves one segment recipe by number.
+func (r *SegmentReader) Fetch(seg int) (*Segment, error) {
+	if seg < 0 || seg >= len(r.dir.segments) {
+		return nil, fmt.Errorf("recipe: segment %d out of range [0,%d)", seg, len(r.dir.segments))
+	}
+	s := r.dir.segments[seg]
+	b, err := r.store.oss.GetRange(r.key, int64(s.off), int64(s.n))
+	if err != nil {
+		return nil, fmt.Errorf("recipe: fetch segment %d: %w", seg, err)
+	}
+	return DecodeSegment(b)
+}
+
+// PutIndex persists a recipe index.
+func (s *Store) PutIndex(idx *Index) error {
+	if err := s.oss.Put(indexKey(idx.FileID, idx.Version), EncodeIndex(idx)); err != nil {
+		return fmt.Errorf("recipe: put index %s v%d: %w", idx.FileID, idx.Version, err)
+	}
+	return nil
+}
+
+// GetIndex fetches a recipe index.
+func (s *Store) GetIndex(fileID string, version int) (*Index, error) {
+	b, err := s.oss.Get(indexKey(fileID, version))
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get index %s v%d: %w", fileID, version, err)
+	}
+	idx, err := DecodeIndex(b)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get index %s v%d: %w", fileID, version, err)
+	}
+	return idx, nil
+}
+
+// ---------------------------------------------------------------------------
+// Version catalog.
+
+// VersionInfo is the catalog entry for one backup version of one file.
+type VersionInfo struct {
+	FileID      string
+	Version     int
+	LogicalSize int64 // restored size
+	StoredSize  int64 // bytes newly written to containers by this version
+	NumChunks   int
+	// Containers referenced by this version, ascending.
+	Containers []container.ID
+	// Garbage containers associated with this version during backup
+	// (paper §VI-B): containers referenced by the previous version but not
+	// by this one, plus sparse containers emptied by compaction. They are
+	// swept when this version is deleted.
+	Garbage []container.ID
+}
+
+// EncodeInfo serialises a VersionInfo.
+func EncodeInfo(v *VersionInfo) []byte {
+	buf := make([]byte, 0, 64+len(v.FileID)+8*(len(v.Containers)+len(v.Garbage)))
+	var tmp [8]byte
+	put32 := func(x uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], x)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], x)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(uint32(len(v.FileID)))
+	buf = append(buf, v.FileID...)
+	put32(uint32(v.Version))
+	put64(uint64(v.LogicalSize))
+	put64(uint64(v.StoredSize))
+	put32(uint32(v.NumChunks))
+	put32(uint32(len(v.Containers)))
+	for _, id := range v.Containers {
+		put64(uint64(id))
+	}
+	put32(uint32(len(v.Garbage)))
+	for _, id := range v.Garbage {
+		put64(uint64(id))
+	}
+	return buf
+}
+
+// DecodeInfo parses a VersionInfo.
+func DecodeInfo(b []byte) (*VersionInfo, error) {
+	p := 0
+	need := func(n int) error {
+		if len(b)-p < n {
+			return fmt.Errorf("recipe: truncated version info")
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nameLen := int(binary.LittleEndian.Uint32(b[p:]))
+	p += 4
+	if err := need(nameLen + 28); err != nil {
+		return nil, err
+	}
+	v := &VersionInfo{FileID: string(b[p : p+nameLen])}
+	p += nameLen
+	v.Version = int(binary.LittleEndian.Uint32(b[p:]))
+	v.LogicalSize = int64(binary.LittleEndian.Uint64(b[p+4:]))
+	v.StoredSize = int64(binary.LittleEndian.Uint64(b[p+12:]))
+	v.NumChunks = int(binary.LittleEndian.Uint32(b[p+20:]))
+	nc := int(binary.LittleEndian.Uint32(b[p+24:]))
+	p += 28
+	if err := need(nc*8 + 4); err != nil {
+		return nil, err
+	}
+	v.Containers = make([]container.ID, nc)
+	for i := 0; i < nc; i++ {
+		v.Containers[i] = container.ID(binary.LittleEndian.Uint64(b[p:]))
+		p += 8
+	}
+	ng := int(binary.LittleEndian.Uint32(b[p:]))
+	p += 4
+	if err := need(ng * 8); err != nil {
+		return nil, err
+	}
+	v.Garbage = make([]container.ID, ng)
+	for i := 0; i < ng; i++ {
+		v.Garbage[i] = container.ID(binary.LittleEndian.Uint64(b[p:]))
+		p += 8
+	}
+	return v, nil
+}
+
+// PutInfo persists a catalog entry.
+func (s *Store) PutInfo(v *VersionInfo) error {
+	if err := s.oss.Put(infoKey(v.FileID, v.Version), EncodeInfo(v)); err != nil {
+		return fmt.Errorf("recipe: put info %s v%d: %w", v.FileID, v.Version, err)
+	}
+	return nil
+}
+
+// GetInfo fetches a catalog entry.
+func (s *Store) GetInfo(fileID string, version int) (*VersionInfo, error) {
+	b, err := s.oss.Get(infoKey(fileID, version))
+	if err != nil {
+		return nil, fmt.Errorf("recipe: get info %s v%d: %w", fileID, version, err)
+	}
+	return DecodeInfo(b)
+}
+
+// DeleteInfo removes a catalog entry.
+func (s *Store) DeleteInfo(fileID string, version int) error {
+	return s.oss.Delete(infoKey(fileID, version))
+}
+
+// Versions lists the versions of a file in ascending order.
+func (s *Store) Versions(fileID string) ([]int, error) {
+	keys, err := s.oss.List(catalogPrefix + fileKey(fileID) + "/")
+	if err != nil {
+		return nil, fmt.Errorf("recipe: versions of %s: %w", fileID, err)
+	}
+	var out []int
+	for _, k := range keys {
+		base := k[strings.LastIndexByte(k, '/')+1:]
+		base = strings.TrimSuffix(base, ".info")
+		v, err := strconv.Atoi(base)
+		if err == nil {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// LatestVersion returns the newest version of fileID, or -1, false when the
+// file has never been backed up.
+func (s *Store) LatestVersion(fileID string) (int, bool, error) {
+	vs, err := s.Versions(fileID)
+	if err != nil {
+		return -1, false, err
+	}
+	if len(vs) == 0 {
+		return -1, false, nil
+	}
+	return vs[len(vs)-1], true, nil
+}
+
+// Files lists every file ID present in the catalog.
+func (s *Store) Files() ([]string, error) {
+	keys, err := s.oss.List(catalogPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: list files: %w", err)
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for _, k := range keys {
+		rest := strings.TrimPrefix(k, catalogPrefix)
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			continue
+		}
+		enc := rest[:i]
+		if _, dup := seen[enc]; dup {
+			continue
+		}
+		seen[enc] = struct{}{}
+		raw, err := hex.DecodeString(enc)
+		if err != nil {
+			continue
+		}
+		out = append(out, string(raw))
+	}
+	sort.Strings(out)
+	return out, nil
+}

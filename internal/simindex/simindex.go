@@ -1,0 +1,253 @@
+// Package simindex implements the similar file index (paper §III-B): it
+// stores representative fingerprints of each backed-up file so an L-node
+// can find a historical version or similar file for an incoming stream
+// whose name lookup failed (§IV-A STEP 1).
+//
+// Following Broder's theorem, the resemblance of two files is estimated
+// from the resemblance of small random samples. Each file version keeps a
+// bounded min-wise sketch (the K smallest sampled fingerprint values);
+// the file maximising sketch overlap is returned as the similar file.
+//
+// The index resides in the storage layer (one small OSS object per file
+// version) and is mirrored in memory so queries cost no OSS round trips;
+// L-nodes stay stateless — any node can reload the mirror from OSS.
+package simindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+// DefaultSketchSize is the number of min-hash values kept per file version.
+const DefaultSketchSize = 32
+
+// Prefix is the OSS namespace of the index.
+const Prefix = "simindex/"
+
+// Sketch is a min-wise sample of a file's fingerprint set: the K smallest
+// 64-bit foldings, ascending and deduplicated.
+type Sketch []uint64
+
+// SketchOf builds a sketch of size at most k from sampled fingerprints.
+func SketchOf(fps []fingerprint.FP, k int) Sketch {
+	if k <= 0 {
+		k = DefaultSketchSize
+	}
+	vals := make([]uint64, 0, len(fps))
+	for _, fp := range fps {
+		vals = append(vals, fp.Uint64())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := make(Sketch, 0, k)
+	var prev uint64
+	for i, v := range vals {
+		if i > 0 && v == prev {
+			continue
+		}
+		out = append(out, v)
+		prev = v
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Resemblance estimates the Jaccard similarity of the sets behind two
+// sketches by their overlap within the union's K smallest values.
+func Resemblance(a, b Sketch) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	k := len(a)
+	if len(b) > k {
+		k = len(b)
+	}
+	// Merge the two sorted sketches, counting matches among the k smallest
+	// union values.
+	i, j, seen, match := 0, 0, 0, 0
+	for seen < k && i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			match++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+		seen++
+	}
+	return float64(match) / float64(k)
+}
+
+// Entry is one indexed file version.
+type Entry struct {
+	FileID  string
+	Version int
+	Sketch  Sketch
+}
+
+func entryKey(fileID string, version int) string {
+	return fmt.Sprintf("%s%x/%08d", Prefix, fileID, version)
+}
+
+func encodeEntry(e *Entry) []byte {
+	buf := make([]byte, 0, 8+len(e.FileID)+8*len(e.Sketch))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.FileID)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, e.FileID...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(e.Version))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.Sketch)))
+	buf = append(buf, tmp[:4]...)
+	for _, v := range e.Sketch {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func decodeEntry(b []byte) (*Entry, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("simindex: entry too short")
+	}
+	nameLen := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+nameLen+8 {
+		return nil, fmt.Errorf("simindex: truncated entry")
+	}
+	e := &Entry{FileID: string(b[4 : 4+nameLen])}
+	p := 4 + nameLen
+	e.Version = int(binary.LittleEndian.Uint32(b[p:]))
+	n := int(binary.LittleEndian.Uint32(b[p+4:]))
+	p += 8
+	if len(b) != p+8*n {
+		return nil, fmt.Errorf("simindex: entry size mismatch")
+	}
+	e.Sketch = make(Sketch, n)
+	for i := 0; i < n; i++ {
+		e.Sketch[i] = binary.LittleEndian.Uint64(b[p:])
+		p += 8
+	}
+	return e, nil
+}
+
+// Index is the similar file index. Safe for concurrent use.
+type Index struct {
+	store oss.Store
+
+	mu      sync.RWMutex
+	entries map[string]*Entry // keyed by fileID\x00version
+}
+
+func memKey(fileID string, version int) string {
+	return fileID + "\x00" + strconv.Itoa(version)
+}
+
+// Open loads the index mirror from OSS.
+func Open(store oss.Store) (*Index, error) {
+	idx := &Index{store: store, entries: make(map[string]*Entry)}
+	keys, err := store.List(Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("simindex: open: %w", err)
+	}
+	for _, k := range keys {
+		b, err := store.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("simindex: open %s: %w", k, err)
+		}
+		e, err := decodeEntry(b)
+		if err != nil {
+			return nil, fmt.Errorf("simindex: open %s: %w", k, err)
+		}
+		idx.entries[memKey(e.FileID, e.Version)] = e
+	}
+	return idx, nil
+}
+
+// Put indexes a file version's sketch, persisting it to OSS.
+func (x *Index) Put(fileID string, version int, sk Sketch) error {
+	e := &Entry{FileID: fileID, Version: version, Sketch: sk}
+	if err := x.store.Put(entryKey(fileID, version), encodeEntry(e)); err != nil {
+		return fmt.Errorf("simindex: put %s v%d: %w", fileID, version, err)
+	}
+	x.mu.Lock()
+	x.entries[memKey(fileID, version)] = e
+	x.mu.Unlock()
+	return nil
+}
+
+// Remove drops a file version from the index.
+func (x *Index) Remove(fileID string, version int) error {
+	if err := x.store.Delete(entryKey(fileID, version)); err != nil {
+		return fmt.Errorf("simindex: remove %s v%d: %w", fileID, version, err)
+	}
+	x.mu.Lock()
+	delete(x.entries, memKey(fileID, version))
+	x.mu.Unlock()
+	return nil
+}
+
+// Match is a similarity query result.
+type Match struct {
+	FileID  string
+	Version int
+	Score   float64
+}
+
+// Query returns the most similar indexed file version for a sketch, with
+// ok=false when nothing scores above minScore. When several versions tie,
+// the newest version of the lexicographically smallest file wins, so
+// results are deterministic.
+func (x *Index) Query(sk Sketch, minScore float64) (Match, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	best := Match{Score: -1}
+	for _, e := range x.entries {
+		s := Resemblance(sk, e.Sketch)
+		if s < minScore {
+			continue
+		}
+		if s > best.Score ||
+			(s == best.Score && (e.FileID < best.FileID ||
+				e.FileID == best.FileID && e.Version > best.Version)) {
+			best = Match{FileID: e.FileID, Version: e.Version, Score: s}
+		}
+	}
+	return best, best.Score >= 0
+}
+
+// Len returns the number of indexed file versions.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.entries)
+}
+
+// VersionsOf returns indexed versions of a file, ascending; used by
+// version collection to trim old entries.
+func (x *Index) VersionsOf(fileID string) []int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []int
+	prefix := fileID + "\x00"
+	for k := range x.entries {
+		if strings.HasPrefix(k, prefix) {
+			v, err := strconv.Atoi(k[len(prefix):])
+			if err == nil {
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package simindex
+
+import (
+	"fmt"
+	"testing"
+
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+func fpsOf(ids ...int) []fingerprint.FP {
+	out := make([]fingerprint.FP, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fingerprint.OfBytes([]byte(fmt.Sprintf("fp-%d", id))))
+	}
+	return out
+}
+
+func seqFPs(start, n int) []fingerprint.FP {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = start + i
+	}
+	return fpsOf(ids...)
+}
+
+func TestSketchOf(t *testing.T) {
+	fps := seqFPs(0, 100)
+	sk := SketchOf(fps, 16)
+	if len(sk) != 16 {
+		t.Fatalf("sketch size %d, want 16", len(sk))
+	}
+	for i := 1; i < len(sk); i++ {
+		if sk[i] <= sk[i-1] {
+			t.Fatal("sketch not strictly ascending")
+		}
+	}
+	// Duplicates collapse.
+	dup := append(append([]fingerprint.FP{}, fps[:4]...), fps[:4]...)
+	if got := SketchOf(dup, 16); len(got) != 4 {
+		t.Fatalf("sketch of duplicated set has %d entries, want 4", len(got))
+	}
+	// k defaulting.
+	if got := SketchOf(fps, 0); len(got) != DefaultSketchSize {
+		t.Fatalf("default k produced %d entries", len(got))
+	}
+}
+
+func TestResemblance(t *testing.T) {
+	a := SketchOf(seqFPs(0, 200), 32)
+	if r := Resemblance(a, a); r != 1 {
+		t.Fatalf("self resemblance = %f", r)
+	}
+	b := SketchOf(seqFPs(5000, 200), 32)
+	if r := Resemblance(a, b); r > 0.1 {
+		t.Fatalf("disjoint resemblance = %f", r)
+	}
+	// 90% shared content resembles more than 10% shared content.
+	hi := SketchOf(append(seqFPs(0, 180), seqFPs(9000, 20)...), 32)
+	lo := SketchOf(append(seqFPs(0, 20), seqFPs(9000, 180)...), 32)
+	if Resemblance(a, hi) <= Resemblance(a, lo) {
+		t.Fatalf("resemblance ordering wrong: hi=%f lo=%f", Resemblance(a, hi), Resemblance(a, lo))
+	}
+	if Resemblance(nil, a) != 0 || Resemblance(a, nil) != 0 {
+		t.Fatal("empty sketch resemblance should be 0")
+	}
+}
+
+func TestIndexQuery(t *testing.T) {
+	mem := oss.NewMem()
+	idx, err := Open(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three files with different content regions.
+	if err := idx.Put("f1", 0, SketchOf(seqFPs(0, 300), 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Put("f1", 1, SketchOf(seqFPs(10, 300), 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Put("f2", 0, SketchOf(seqFPs(10000, 300), 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stream overlapping f1's newer version strongly.
+	q := SketchOf(seqFPs(15, 300), 32)
+	m, ok := idx.Query(q, 0.05)
+	if !ok {
+		t.Fatal("no match found")
+	}
+	if m.FileID != "f1" || m.Version != 1 {
+		t.Fatalf("Query = %+v, want f1 v1", m)
+	}
+
+	// A stream unlike anything indexed.
+	if m, ok := idx.Query(SketchOf(seqFPs(500000, 300), 32), 0.05); ok {
+		t.Fatalf("unexpected match %+v", m)
+	}
+
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	vs := idx.VersionsOf("f1")
+	if len(vs) != 2 || vs[0] != 0 || vs[1] != 1 {
+		t.Fatalf("VersionsOf = %v", vs)
+	}
+}
+
+func TestIndexPersistence(t *testing.T) {
+	mem := oss.NewMem()
+	idx, _ := Open(mem)
+	sk := SketchOf(seqFPs(0, 100), 16)
+	if err := idx.Put("file with spaces/and-slash", 7, sk); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh index (new L-node) sees the entry.
+	idx2, err := Open(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != 1 {
+		t.Fatalf("reloaded Len = %d", idx2.Len())
+	}
+	m, ok := idx2.Query(sk, 0.5)
+	if !ok || m.FileID != "file with spaces/and-slash" || m.Version != 7 {
+		t.Fatalf("reloaded Query = %+v, %v", m, ok)
+	}
+
+	// Remove persists too.
+	if err := idx2.Remove(m.FileID, m.Version); err != nil {
+		t.Fatal(err)
+	}
+	idx3, _ := Open(mem)
+	if idx3.Len() != 0 {
+		t.Fatalf("Len after remove = %d", idx3.Len())
+	}
+}
+
+func TestQueryDeterministicTieBreak(t *testing.T) {
+	mem := oss.NewMem()
+	idx, _ := Open(mem)
+	sk := SketchOf(seqFPs(0, 100), 16)
+	idx.Put("b", 0, sk)
+	idx.Put("a", 0, sk)
+	idx.Put("a", 1, sk)
+	m, ok := idx.Query(sk, 0.5)
+	if !ok || m.FileID != "a" || m.Version != 1 {
+		t.Fatalf("tie break = %+v", m)
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := &Entry{FileID: "x/y", Version: 3, Sketch: Sketch{1, 2, 3, 1 << 60}}
+	got, err := decodeEntry(encodeEntry(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FileID != e.FileID || got.Version != e.Version || len(got.Sketch) != 4 || got.Sketch[3] != 1<<60 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := decodeEntry([]byte{1}); err == nil {
+		t.Fatal("short entry accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(SDB(4, 1<<20))
+	g2 := New(SDB(4, 1<<20))
+	for i := 0; i < 4; i++ {
+		for v := 0; v < 3; v++ {
+			if !bytes.Equal(g1.Version(i, v), g2.Version(i, v)) {
+				t.Fatalf("file %d v%d differs across generators", i, v)
+			}
+		}
+	}
+}
+
+func TestVersionSeqMatchesVersion(t *testing.T) {
+	g := New(SDB(2, 1<<20))
+	var collected [][]byte
+	err := g.VersionSeq(1, func(v int, data []byte) error {
+		if v >= 3 {
+			return errStop
+		}
+		collected = append(collected, append([]byte{}, data...))
+		return nil
+	})
+	if err != errStop {
+		t.Fatal(err)
+	}
+	for v, want := range collected {
+		if !bytes.Equal(g.Version(1, v), want) {
+			t.Fatalf("VersionSeq and Version disagree at v%d", v)
+		}
+	}
+}
+
+var errStop = &stopErr{}
+
+type stopErr struct{}
+
+func (*stopErr) Error() string { return "stop" }
+
+func TestDupRatioTargets(t *testing.T) {
+	g := New(SDB(8, 2<<20))
+	// Per-file ratios span the configured band and the mean lands near
+	// the paper's 0.84.
+	lo, hi := g.FileDupRatio(0), g.FileDupRatio(7)
+	if lo != 0.65 || hi != 0.95 {
+		t.Fatalf("ratio band = [%f, %f]", lo, hi)
+	}
+	mean := g.MeanDupRatio()
+	if mean < 0.80 || mean > 0.88 {
+		t.Fatalf("mean dup ratio %f, want ≈0.84", mean)
+	}
+	// Measured page-level duplication tracks the target.
+	for _, i := range []int{0, 7} {
+		target := g.FileDupRatio(i)
+		got := g.MeasureDup(i, 1)
+		if got < target-0.08 || got > target+0.08 {
+			t.Errorf("file %d: measured dup %f, target %f", i, got, target)
+		}
+	}
+}
+
+func TestSelfReference(t *testing.T) {
+	g := New(SDB(2, 4<<20))
+	base := g.Base(0)
+	pages := len(base) / PageSize
+	seen := map[string]bool{}
+	dups := 0
+	for p := 0; p < pages; p++ {
+		key := string(base[p*PageSize : (p+1)*PageSize])
+		if seen[key] {
+			dups++
+		}
+		seen[key] = true
+	}
+	frac := float64(dups) / float64(pages)
+	if frac < 0.12 || frac > 0.30 {
+		t.Fatalf("self-reference fraction %f, want ≈0.20", frac)
+	}
+
+	r := New(RData(2, 4<<20))
+	rbase := r.Base(0)
+	seen = map[string]bool{}
+	dups = 0
+	for p := 0; p < len(rbase)/PageSize; p++ {
+		key := string(rbase[p*PageSize : (p+1)*PageSize])
+		if seen[key] {
+			dups++
+		}
+		seen[key] = true
+	}
+	if frac := float64(dups) / float64(len(rbase)/PageSize); frac > 0.02 {
+		t.Fatalf("R-Data self-reference %f, want ≈0", frac)
+	}
+}
+
+func TestTableIProfiles(t *testing.T) {
+	sdb := New(SDB(0, 0)).Stats()
+	if sdb.Versions != 25 || sdb.Name != "S-DB" {
+		t.Fatalf("S-DB stats: %+v", sdb)
+	}
+	if sdb.MeanDup < 0.80 || sdb.MeanDup > 0.88 {
+		t.Fatalf("S-DB mean dup %f", sdb.MeanDup)
+	}
+	rd := New(RData(0, 0)).Stats()
+	if rd.Versions != 13 || rd.SelfRef > 0.01 {
+		t.Fatalf("R-Data stats: %+v", rd)
+	}
+	if rd.MeanDup < 0.90 || rd.MeanDup > 0.94 {
+		t.Fatalf("R-Data mean dup %f", rd.MeanDup)
+	}
+}
+
+func TestFileIDsStable(t *testing.T) {
+	g := New(SDB(3, 1<<20))
+	ids := g.FileIDs()
+	if len(ids) != 3 || ids[0] != "S-DB/table0000.db" {
+		t.Fatalf("FileIDs = %v", ids)
+	}
+}
+
+func TestSizeDrift(t *testing.T) {
+	g := New(SDB(1, 2<<20))
+	base := len(g.Base(0))
+	last := len(g.Version(0, 10))
+	// Inserts and deletes roughly balance; size should stay within 20%.
+	if last < base*8/10 || last > base*12/10 {
+		t.Fatalf("size drifted from %d to %d over 10 versions", base, last)
+	}
+}

@@ -1,0 +1,448 @@
+package slimstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"slimstore/internal/chunker"
+	"slimstore/internal/oss"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ChunkParams = chunker.ParamsForAvg(4 << 10)
+	cfg.ContainerCapacity = 256 << 10
+	cfg.SegmentChunks = 64
+	cfg.CacheMemBytes = 16 << 20
+	cfg.CacheDiskBytes = 64 << 20
+	cfg.LAWChunks = 256
+	cfg.PrefetchThreads = 2
+	return cfg
+}
+
+func genData(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(1, 2<<20)
+	st, err := sys.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Optimize(st); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sys.Restore("f", st.Version, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("round trip corrupt")
+	}
+	files, err := sys.Files()
+	if err != nil || len(files) != 1 || files[0] != "f" {
+		t.Fatalf("Files = %v, %v", files, err)
+	}
+	vs, err := sys.Versions("f")
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("Versions = %v, %v", vs, err)
+	}
+	u, err := sys.SpaceUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ContainerBytes == 0 || u.RecipeBytes == 0 || u.TotalBytes < u.ContainerBytes {
+		t.Fatalf("space usage: %+v", u)
+	}
+}
+
+func TestConcurrentJobsAcrossLNodes(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ScaleLNodes(4)
+	if sys.LNodes() != 4 {
+		t.Fatalf("LNodes = %d", sys.LNodes())
+	}
+
+	const jobs = 8
+	datas := make([][]byte, jobs)
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		datas[i] = genData(int64(10+i), 1<<20)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sys.Backup(fmt.Sprintf("file%d", i), datas[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	// Concurrent restores.
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if _, err := sys.Restore(fmt.Sprintf("file%d", i), 0, &buf); err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), datas[i]) {
+				errs[i] = fmt.Errorf("file%d corrupt", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeleteVersionThroughFacade(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := genData(20, 1<<20)
+	d1 := append(append([]byte{}, genData(21, 512<<10)...), d0[512<<10:]...)
+	if _, err := sys.Backup("f", d0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Backup("f", d1); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sys.SpaceUsage()
+	if _, err := sys.DeleteVersion("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sys.SpaceUsage()
+	if after.TotalBytes > before.TotalBytes {
+		t.Fatalf("space grew after delete: %d -> %d", before.TotalBytes, after.TotalBytes)
+	}
+	var buf bytes.Buffer
+	if _, err := sys.Restore("f", 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), d1) {
+		t.Fatal("surviving version corrupt")
+	}
+	if _, err := sys.Restore("f", 0, &bytes.Buffer{}); err == nil {
+		t.Fatal("deleted version restorable")
+	}
+}
+
+func TestAuditOnHealthySystem(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Backup("f", genData(30, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Optimize(st); err != nil {
+		t.Fatal(err)
+	}
+	audit, err := sys.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.ContainersSwept != 0 {
+		t.Fatalf("audit swept %d containers on a healthy system", audit.ContainersSwept)
+	}
+}
+
+func TestOpenDirectory(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := OpenDirectory(dir, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(40, 512<<10)
+	if _, err := sys.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: state persisted on disk.
+	sys2, err := OpenDirectory(dir, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sys2.Restore("f", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("disk-backed round trip corrupt")
+	}
+}
+
+func TestBackupAllAndVerify(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ScaleLNodes(3)
+	files := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		files[fmt.Sprintf("batch/file%d", i)] = genData(int64(60+i), 512<<10)
+	}
+	stats, err := sys.BackupAll(files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(files) {
+		t.Fatalf("got %d stats, want %d", len(stats), len(files))
+	}
+	if err := sys.OptimizeAll(stats); err != nil {
+		t.Fatal(err)
+	}
+	for id, data := range files {
+		st, err := sys.Verify(id, 0)
+		if err != nil {
+			t.Fatalf("verify %s: %v", id, err)
+		}
+		if st.Bytes != int64(len(data)) {
+			t.Fatalf("verify %s: %d bytes, want %d", id, st.Bytes, len(data))
+		}
+		var buf bytes.Buffer
+		if _, err := sys.Restore(id, 0, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("%s corrupt after batch backup", id)
+		}
+	}
+}
+
+func TestSystemOverHTTP(t *testing.T) {
+	// A full deployment against the HTTP object-store server: the
+	// multi-process topology of cmd/ossserver, in-process.
+	backend := NewMemoryStore()
+	srv := httptest.NewServer(oss.NewServer(backend))
+	defer srv.Close()
+
+	sys, err := OpenHTTP(srv.URL, srv.Client(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(70, 1<<20)
+	st, err := sys.Backup("remote/file", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Optimize(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second System (another process in the paper's deployment) sees
+	// the same repository through the same server.
+	sys2, err := OpenHTTP(srv.URL, srv.Client(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sys2.Restore("remote/file", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("cross-process HTTP round trip corrupt")
+	}
+	if _, err := sys2.Verify("remote/file", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFiles := func(seed int64) map[string][]byte {
+		out := map[string][]byte{}
+		for i := 0; i < 3; i++ {
+			out[fmt.Sprintf("vol/file%d", i)] = genData(seed+int64(i), 512<<10)
+		}
+		return out
+	}
+
+	day1 := mkFiles(100)
+	snap1, err := sys.BackupSnapshot("day1", day1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap1.Members) != 3 || snap1.TotalBytes != 3*512<<10 {
+		t.Fatalf("snapshot = %+v", snap1)
+	}
+
+	// Day 2: light mutations of the same files.
+	day2 := map[string][]byte{}
+	for id, data := range day1 {
+		d := append([]byte{}, data...)
+		copy(d[:128], genData(777, 128))
+		day2[id] = d
+	}
+	if _, err := sys.BackupSnapshot("day2", day2, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := sys.Snapshots()
+	if err != nil || len(ids) != 2 || ids[0] != "day1" || ids[1] != "day2" {
+		t.Fatalf("Snapshots = %v, %v", ids, err)
+	}
+
+	// Restore day1 as a unit and compare every member.
+	restored := map[string]*bytes.Buffer{}
+	err = sys.RestoreSnapshot("day1", func(fileID string) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		restored[fileID] = b
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range day1 {
+		if !bytes.Equal(restored[id].Bytes(), want) {
+			t.Fatalf("snapshot member %s corrupt", id)
+		}
+	}
+
+	// Expire day1; day2 must survive intact.
+	if err := sys.DeleteSnapshot("day1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := sys.Snapshots(); len(ids) != 1 || ids[0] != "day2" {
+		t.Fatalf("Snapshots after delete = %v", ids)
+	}
+	if _, err := sys.SnapshotInfo("day1"); err == nil {
+		t.Fatal("deleted snapshot still loads")
+	}
+	restored = map[string]*bytes.Buffer{}
+	err = sys.RestoreSnapshot("day2", func(fileID string) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		restored[fileID] = b
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range day2 {
+		if !bytes.Equal(restored[id].Bytes(), want) {
+			t.Fatalf("surviving snapshot member %s corrupt", id)
+		}
+	}
+}
+
+func TestQueueOptimizeBackground(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	data := genData(200, 1<<20)
+	st, err := sys.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QueueOptimize(st); err != nil {
+		t.Fatal(err)
+	}
+	sys.DrainOptimize()
+	ms := sys.MaintenanceStats()
+	if ms.Processed != 1 || ms.Errors != 0 {
+		t.Fatalf("maintenance stats = %+v", ms)
+	}
+	var buf bytes.Buffer
+	if _, err := sys.Restore("f", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("restore corrupt after background optimize")
+	}
+}
+
+func TestMetricsAndNamespaces(t *testing.T) {
+	base := NewMemoryStore()
+	// Two tenants share one physical store but see isolated systems.
+	sysA, err := Open(NamespacedStore(base, "tenantA"), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := Open(NamespacedStore(base, "tenantB"), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := genData(300, 512<<10)
+	if _, err := sysA.Backup("shared-name", dataA); err != nil {
+		t.Fatal(err)
+	}
+	dataB := genData(301, 512<<10)
+	if _, err := sysB.Backup("shared-name", dataB); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sysA.Restore("shared-name", 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), dataA) {
+		t.Fatal("tenant A sees tenant B's data")
+	}
+	filesB, _ := sysB.Files()
+	if len(filesB) != 1 {
+		t.Fatalf("tenant B files = %v", filesB)
+	}
+
+	m, err := sysA.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Files != 1 || m.Versions != 1 || m.Containers == 0 || m.LNodes != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Space.TotalBytes == 0 {
+		t.Fatal("metrics space empty")
+	}
+}
+
+func TestRestoreRangeFacade(t *testing.T) {
+	sys, err := OpenMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genData(310, 1<<20)
+	if _, err := sys.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := sys.RestoreRange("f", 0, 100<<10, 64<<10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data[100<<10:164<<10]) {
+		t.Fatal("facade range restore corrupt")
+	}
+	if st.Bytes != 64<<10 {
+		t.Fatalf("range bytes = %d", st.Bytes)
+	}
+}
