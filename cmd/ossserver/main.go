@@ -15,15 +15,17 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"slimstore/internal/oss"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":9000", "listen address")
-		dir  = flag.String("dir", "./ossdata", "storage directory")
-		mem  = flag.Bool("mem", false, "keep objects in memory only")
+		addr     = flag.String("addr", ":9000", "listen address")
+		dir      = flag.String("dir", "./ossdata", "storage directory")
+		mem      = flag.Bool("mem", false, "keep objects in memory only")
+		maxBytes = flag.Int64("maxobject", oss.DefaultMaxObjectBytes, "maximum PUT body size in bytes")
 	)
 	flag.Parse()
 
@@ -39,8 +41,21 @@ func main() {
 		store = s
 		log.Printf("ossserver: serving %s", *dir)
 	}
-	log.Printf("ossserver: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, oss.NewServer(store)); err != nil {
+	handler := oss.NewServer(store)
+	handler.SetMaxObjectBytes(*maxBytes)
+	// Generous read/write timeouts accommodate multi-MiB container
+	// transfers on slow links while still reaping dead connections; the
+	// header timeout bounds slow-loris clients.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("ossserver: listening on %s (max object %d bytes)", *addr, *maxBytes)
+	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("ossserver: %v", err)
 	}
 }

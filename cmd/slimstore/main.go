@@ -16,6 +16,7 @@
 //	slimstore list    -repo dir:/backups
 //	slimstore delete  -repo dir:/backups -name <name> -version N
 //	slimstore gc      -repo dir:/backups
+//	slimstore scrub   -repo dir:/backups
 //	slimstore stats   -repo dir:/backups
 package main
 
@@ -52,7 +53,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: slimstore <backup|restore|verify|snapshot|restore-snapshot|snapshots|list|delete|gc|stats> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: slimstore <backup|restore|verify|snapshot|restore-snapshot|snapshots|list|delete|gc|scrub|stats> [flags]")
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
@@ -291,6 +292,25 @@ func main() {
 		}
 		fmt.Printf("audit: %d containers live, %d swept, %d bytes reclaimed\n",
 			audit.ContainersMarked, audit.ContainersSwept, audit.BytesReclaimed)
+
+	case "scrub":
+		fs.Parse(args)
+		sys, err := openSystem(*repo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st, err := sys.Scrub()
+		if err != nil {
+			fatalf("scrub: %v", err)
+		}
+		fmt.Printf("scrub: %d containers scanned, %d chunks verified, %d corrupt, %d repaired, %d containers rebuilt\n",
+			st.ContainersScanned, st.ChunksVerified, st.CorruptChunks, st.RepairedChunks, st.RebuiltContainers)
+		if len(st.Quarantined) > 0 {
+			fmt.Printf("quarantined: %v\n", st.Quarantined)
+		}
+		for _, fp := range st.Lost {
+			fmt.Printf("LOST: chunk %s is unrecoverable; affected versions will fail to restore\n", fp.Short())
+		}
 
 	case "stats":
 		fs.Parse(args)

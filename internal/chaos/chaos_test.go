@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSeededRun is the acceptance gate for the integrity work: 200+ mixed
+// operations under crash and corruption injection, zero silent
+// corruptions, and a repo that heals to a fully restorable state.
+func TestSeededRun(t *testing.T) {
+	res, err := Run(Options{Seed: 1, Ops: 220, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("invariant violated: %v\nresult: %+v", err, res)
+	}
+	if res.SilentCorruptions != 0 {
+		t.Fatalf("silent corruptions: %+v", res)
+	}
+	t.Logf("chaos result: %+v", res)
+
+	// The schedule must actually exercise the machinery it claims to.
+	if res.Backups == 0 || res.Restores == 0 || res.RangeRestores == 0 ||
+		res.Optimizes == 0 || res.Deletes == 0 || res.Scrubs == 0 || res.Sweeps == 0 {
+		t.Fatalf("schedule left an operation type untouched: %+v", res)
+	}
+	if res.CorruptionsInjected == 0 || res.Crashes == 0 {
+		t.Fatalf("no faults were injected — the run proved nothing: %+v", res)
+	}
+	if res.LiveVersions == 0 {
+		t.Fatalf("nothing survived to verify after heal: %+v", res)
+	}
+}
+
+// TestSameSeedSameSchedule: a seed fully determines the run, so failures
+// are replayable.
+func TestSameSeedSameSchedule(t *testing.T) {
+	a, errA := Run(Options{Seed: 7, Ops: 120})
+	b, errB := Run(Options{Seed: 7, Ops: 120})
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v\n%+v\n%+v", errA, errB, a, b)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n a = %+v\n b = %+v", a, b)
+	}
+}
+
+// TestSeedSweep runs several short schedules: different seeds explore
+// different interleavings of crash points and rot.
+func TestSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for seed := int64(2); seed < 8; seed++ {
+		res, err := Run(Options{Seed: seed, Ops: 80})
+		if err != nil {
+			t.Fatalf("seed %d: %v\nresult: %+v", seed, err, res)
+		}
+		if res.SilentCorruptions != 0 {
+			t.Fatalf("seed %d: silent corruptions: %+v", seed, res)
+		}
+	}
+}

@@ -19,10 +19,42 @@ package container
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"slimstore/internal/fingerprint"
 )
+
+// ErrCorrupt marks integrity failures detected by checksum verification.
+// Errors wrapping it carry the container (and, when known, the chunk) via
+// CorruptError.
+var ErrCorrupt = errors.New("container: corrupt")
+
+// CorruptError identifies corrupt state down to the chunk.
+type CorruptError struct {
+	Container ID
+	FP        fingerprint.FP // zero when the whole object is bad (meta, footer)
+	Detail    string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.FP.IsZero() {
+		return fmt.Sprintf("container %s corrupt: %s", e.Container, e.Detail)
+	}
+	return fmt.Sprintf("container %s chunk %s corrupt: %s", e.Container, e.FP.Short(), e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// castagnoli is the CRC32C polynomial table, the common choice for storage
+// checksums (hardware-accelerated on modern CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumOf computes the CRC32C checksum used for chunk and footer sums.
+func ChecksumOf(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
 // ID identifies a container. IDs are unique per backup repository.
 type ID uint64
@@ -44,15 +76,21 @@ type ChunkMeta struct {
 	Offset  uint32
 	Size    uint32
 	Deleted bool
+	Sum     uint32 // CRC32C of the chunk payload (format v2; 0 in v1 metas)
 }
 
 // Meta is a container's metadata: the chunk directory plus summary
 // counters used by sparse-container detection and deferred compaction.
 type Meta struct {
 	ID       ID
+	Version  uint32 // on-wire format version; 0 is treated as current
 	Chunks   []ChunkMeta
 	DataSize uint32 // payload bytes including deleted chunks
 }
+
+// Checksummed reports whether the container carries per-chunk checksums
+// and a data footer (format v2).
+func (m *Meta) Checksummed() bool { return m.Version != MetaV1 }
 
 // Find returns the metadata of the chunk with fingerprint fp, or nil.
 func (m *Meta) Find(fp fingerprint.FP) *ChunkMeta {
@@ -122,27 +160,91 @@ func (c *Container) Get(fp fingerprint.FP) ([]byte, error) {
 	return c.ChunkData(cm)
 }
 
+// VerifyChunk checks one chunk's bounds and (for checksummed containers)
+// its CRC against the payload. It returns a *CorruptError on mismatch.
+func (c *Container) VerifyChunk(cm *ChunkMeta) error {
+	data, err := c.ChunkData(cm)
+	if err != nil {
+		return &CorruptError{Container: c.Meta.ID, FP: cm.FP, Detail: err.Error()}
+	}
+	if !c.Meta.Checksummed() {
+		return nil
+	}
+	if got := ChecksumOf(data); got != cm.Sum {
+		return &CorruptError{Container: c.Meta.ID, FP: cm.FP,
+			Detail: fmt.Sprintf("checksum %08x, want %08x", got, cm.Sum)}
+	}
+	return nil
+}
+
+// VerifyLive checks every non-deleted chunk and returns the fingerprints
+// that fail verification (nil when the container is clean). Corruption
+// confined to deleted regions is not reported here; ScrubContainer-level
+// footer checks cover it.
+func (c *Container) VerifyLive() []fingerprint.FP {
+	var bad []fingerprint.FP
+	for i := range c.Meta.Chunks {
+		cm := &c.Meta.Chunks[i]
+		if cm.Deleted {
+			continue
+		}
+		if err := c.VerifyChunk(cm); err != nil {
+			bad = append(bad, cm.FP)
+		}
+	}
+	return bad
+}
+
 // ---------------------------------------------------------------------------
 // Serialization. Fixed-width little-endian encoding: simple, versioned, and
 // fast to decode without reflection.
+//
+// Format v1 carried no integrity metadata. Format v2 adds a CRC32C per
+// chunk record, a CRC32C trailer over the whole metadata object, and an
+// 8-byte footer (magic + payload CRC32C) on the data object. v1 containers
+// remain readable; every rewrite upgrades them to v2.
 
 const metaMagic = uint32(0x534C4D43) // "SLMC"
-const metaVersion = 1
 
-// chunkMetaWire is the on-wire size of one ChunkMeta record.
-const chunkMetaWire = fingerprint.Size + 4 + 4 + 1
+// Metadata format versions.
+const (
+	MetaV1 = 1
+	MetaV2 = 2
+)
 
-// EncodeMeta serialises container metadata.
+// Data object footer (format v2): magic then CRC32C of the full payload.
+const (
+	footerMagic = uint32(0x534C4D46) // "SLMF"
+	FooterSize  = 8
+)
+
+// chunkMetaWireV1/V2 are the on-wire sizes of one ChunkMeta record.
+const (
+	chunkMetaWireV1 = fingerprint.Size + 4 + 4 + 1
+	chunkMetaWireV2 = chunkMetaWireV1 + 4
+)
+
+// EncodeMeta serialises container metadata. Version 0 encodes as the
+// current format; MetaV1 preserves the legacy layout (so marking chunks
+// deleted in an old container does not claim checksums it lacks).
 func EncodeMeta(m *Meta) []byte {
-	buf := make([]byte, 0, 24+len(m.Chunks)*chunkMetaWire)
+	version := m.Version
+	if version == 0 {
+		version = MetaV2
+	}
+	wire := chunkMetaWireV2
+	if version == MetaV1 {
+		wire = chunkMetaWireV1
+	}
+	buf := make([]byte, 0, 24+len(m.Chunks)*wire+4)
 	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], metaMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], metaVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.ID))
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(m.Chunks)))
 	binary.LittleEndian.PutUint32(hdr[20:24], m.DataSize)
 	buf = append(buf, hdr[:]...)
-	var rec [chunkMetaWire]byte
+	var rec [chunkMetaWireV2]byte
 	for i := range m.Chunks {
 		cm := &m.Chunks[i]
 		copy(rec[:fingerprint.Size], cm.FP[:])
@@ -153,12 +255,21 @@ func EncodeMeta(m *Meta) []byte {
 		} else {
 			rec[fingerprint.Size+8] = 0
 		}
-		buf = append(buf, rec[:]...)
+		if version >= MetaV2 {
+			binary.LittleEndian.PutUint32(rec[fingerprint.Size+9:], cm.Sum)
+		}
+		buf = append(buf, rec[:wire]...)
+	}
+	if version >= MetaV2 {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], ChecksumOf(buf))
+		buf = append(buf, crc[:]...)
 	}
 	return buf
 }
 
-// DecodeMeta parses container metadata.
+// DecodeMeta parses container metadata (either format version). A v2
+// object failing its trailer checksum returns a *CorruptError.
 func DecodeMeta(b []byte) (*Meta, error) {
 	if len(b) < 24 {
 		return nil, fmt.Errorf("container: meta too short (%d bytes)", len(b))
@@ -166,16 +277,33 @@ func DecodeMeta(b []byte) (*Meta, error) {
 	if binary.LittleEndian.Uint32(b[0:4]) != metaMagic {
 		return nil, fmt.Errorf("container: bad meta magic")
 	}
-	if v := binary.LittleEndian.Uint32(b[4:8]); v != metaVersion {
-		return nil, fmt.Errorf("container: unsupported meta version %d", v)
+	version := binary.LittleEndian.Uint32(b[4:8])
+	if version != MetaV1 && version != MetaV2 {
+		return nil, fmt.Errorf("container: unsupported meta version %d", version)
 	}
 	m := &Meta{
 		ID:       ID(binary.LittleEndian.Uint64(b[8:16])),
+		Version:  version,
 		DataSize: binary.LittleEndian.Uint32(b[20:24]),
 	}
 	n := int(binary.LittleEndian.Uint32(b[16:20]))
-	if len(b) != 24+n*chunkMetaWire {
-		return nil, fmt.Errorf("container: meta size %d does not match %d chunks", len(b), n)
+	wire := chunkMetaWireV2
+	if version == MetaV1 {
+		wire = chunkMetaWireV1
+	}
+	want := 24 + n*wire
+	if version >= MetaV2 {
+		want += 4
+	}
+	if len(b) != want {
+		return nil, fmt.Errorf("container: meta size %d does not match %d chunks (v%d)", len(b), n, version)
+	}
+	if version >= MetaV2 {
+		stored := binary.LittleEndian.Uint32(b[len(b)-4:])
+		if got := ChecksumOf(b[:len(b)-4]); got != stored {
+			return nil, &CorruptError{Container: m.ID,
+				Detail: fmt.Sprintf("meta checksum %08x, want %08x", got, stored)}
+		}
 	}
 	m.Chunks = make([]ChunkMeta, n)
 	off := 24
@@ -185,7 +313,39 @@ func DecodeMeta(b []byte) (*Meta, error) {
 		cm.Offset = binary.LittleEndian.Uint32(b[off+fingerprint.Size:])
 		cm.Size = binary.LittleEndian.Uint32(b[off+fingerprint.Size+4:])
 		cm.Deleted = b[off+fingerprint.Size+8] == 1
-		off += chunkMetaWire
+		if version >= MetaV2 {
+			cm.Sum = binary.LittleEndian.Uint32(b[off+fingerprint.Size+9:])
+		}
+		off += wire
 	}
 	return m, nil
+}
+
+// EncodeData frames a payload as a v2 data object: payload plus footer.
+func EncodeData(payload []byte) []byte {
+	out := make([]byte, len(payload)+FooterSize)
+	copy(out, payload)
+	binary.LittleEndian.PutUint32(out[len(payload):], footerMagic)
+	binary.LittleEndian.PutUint32(out[len(payload)+4:], ChecksumOf(payload))
+	return out
+}
+
+// SplitData separates a raw data object into payload and footer status.
+// footerOK reports whether the footer magic and whole-payload CRC check
+// out; false with a valid length means at-rest rot (possibly confined to
+// deleted regions — per-chunk sums decide whether live data is affected).
+// For v1 metas the raw object is the payload and footerOK is true.
+func SplitData(m *Meta, raw []byte) (payload []byte, footerOK bool) {
+	if !m.Checksummed() {
+		return raw, true
+	}
+	if len(raw) != int(m.DataSize)+FooterSize {
+		return raw, false
+	}
+	payload = raw[:m.DataSize]
+	if binary.LittleEndian.Uint32(raw[m.DataSize:]) != footerMagic {
+		return payload, false
+	}
+	stored := binary.LittleEndian.Uint32(raw[m.DataSize+4:])
+	return payload, ChecksumOf(payload) == stored
 }

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -20,10 +21,10 @@ func chunkOf(seed int64, n int) (fingerprint.FP, []byte) {
 }
 
 func TestMetaRoundTrip(t *testing.T) {
-	m := &Meta{ID: 42, DataSize: 300}
+	m := &Meta{ID: 42, Version: MetaV2, DataSize: 300}
 	for i := 0; i < 10; i++ {
 		fp, _ := chunkOf(int64(i), 8)
-		m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: uint32(i * 30), Size: 30, Deleted: i%3 == 0})
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: uint32(i * 30), Size: 30, Deleted: i%3 == 0, Sum: uint32(i * 7)})
 	}
 	got, err := DecodeMeta(EncodeMeta(m))
 	if err != nil {
@@ -31,6 +32,189 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMetaV1RoundTrip(t *testing.T) {
+	m := &Meta{ID: 9, Version: MetaV1, DataSize: 60}
+	fp, _ := chunkOf(3, 8)
+	m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: 0, Size: 60})
+	got, err := DecodeMeta(EncodeMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("v1 round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	if got.Checksummed() {
+		t.Fatal("v1 meta must not claim checksums")
+	}
+}
+
+func TestMetaTrailerDetectsCorruption(t *testing.T) {
+	m := &Meta{ID: 5, DataSize: 30}
+	fp, _ := chunkOf(1, 8)
+	m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Size: 30, Sum: 123})
+	b := EncodeMeta(m)
+	b[30] ^= 0x01 // flip a record byte; the trailer CRC must catch it
+	_, err := DecodeMeta(b)
+	if err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Container != 5 {
+		t.Fatalf("CorruptError should identify container 5: %v", err)
+	}
+}
+
+func TestDataFooterRoundTrip(t *testing.T) {
+	payload := []byte("hello container payload")
+	raw := EncodeData(payload)
+	m := &Meta{ID: 1, Version: MetaV2, DataSize: uint32(len(payload))}
+	got, ok := SplitData(m, raw)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("SplitData = %q, %v", got, ok)
+	}
+	raw[3] ^= 0xFF // payload rot → footer mismatch
+	if _, ok := SplitData(m, raw); ok {
+		t.Fatal("footer accepted corrupted payload")
+	}
+}
+
+// Read must detect a flipped byte in live chunk data and identify the
+// container and chunk in a typed error.
+func TestReadDetectsCorruption(t *testing.T) {
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	cs, _ := NewStore(faulty, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 2000)
+	id, _ := b.Add(fp, data)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty.CorruptReads(Prefix + id.String() + ".data")
+	cs2, _ := NewStore(faulty, DefaultCapacity) // cold meta cache
+	_, err := cs2.Read(id)
+	if err == nil {
+		t.Fatal("corrupt read went undetected")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Container != id || ce.FP != fp {
+		t.Fatalf("CorruptError should identify container %s chunk %s: %v", id, fp.Short(), err)
+	}
+
+	// ReadChunk (ranged) must catch it too.
+	if _, err := cs2.ReadChunk(id, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadChunk: want ErrCorrupt, got %v", err)
+	}
+
+	// Clean reads still succeed.
+	faulty.Clear()
+	c, err := cs2.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("clean read mismatch: %v", err)
+	}
+}
+
+// Corruption confined to a deleted chunk's bytes must not fail reads of
+// the remaining live chunks, but the footer must still expose the rot.
+func TestDeadRegionCorruptionTolerated(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp1, d1 := chunkOf(1, 400)
+	fp2, d2 := chunkOf(2, 400)
+	id, _ := b.Add(fp1, d1)
+	b.Add(fp2, d2)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cs.ReadMeta(id)
+	m.Find(fp1).Deleted = true
+	if err := cs.WriteMeta(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the deleted chunk's region, at rest.
+	key := Prefix + id.String() + ".data"
+	raw, _ := mem.Get(key)
+	raw[10] ^= 0xFF
+	mem.Put(key, raw)
+
+	c, err := cs.Read(id)
+	if err != nil {
+		t.Fatalf("dead-region rot must not fail live reads: %v", err)
+	}
+	got, err := c.Get(fp2)
+	if err != nil || !bytes.Equal(got, d2) {
+		t.Fatalf("live chunk unreadable: %v", err)
+	}
+	if _, footerOK, _ := cs.ReadRaw(id); footerOK {
+		t.Fatal("footer must expose dead-region rot")
+	}
+}
+
+func TestV1ContainerStillReads(t *testing.T) {
+	mem := oss.NewMem()
+	// Hand-write a v1 container: bare payload, v1 meta, no checksums.
+	fp, data := chunkOf(7, 512)
+	id := ID(1)
+	m := &Meta{ID: id, Version: MetaV1, DataSize: uint32(len(data)),
+		Chunks: []ChunkMeta{{FP: fp, Offset: 0, Size: uint32(len(data))}}}
+	mem.Put(Prefix+id.String()+".data", data)
+	mem.Put(Prefix+id.String()+".meta", EncodeMeta(m))
+
+	cs, err := NewStore(mem, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cs.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("v1 read mismatch: %v", err)
+	}
+	if got, err := cs.ReadChunk(id, fp); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("v1 ranged read mismatch: %v", err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	mem := oss.NewMem()
+	cs, _ := NewStore(mem, DefaultCapacity)
+	b := NewBuilder(cs)
+	fp, data := chunkOf(1, 100)
+	id, _ := b.Add(fp, data)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Quarantine(id); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := cs.List()
+	if len(ids) != 0 {
+		t.Fatalf("quarantined container still listed: %v", ids)
+	}
+	qkeys, _ := mem.List(QuarantinePrefix)
+	if len(qkeys) != 2 {
+		t.Fatalf("quarantine keys = %v", qkeys)
+	}
+	if _, err := cs.Read(id); err == nil {
+		t.Fatal("Read after quarantine should fail")
 	}
 }
 

@@ -1,6 +1,7 @@
 package container
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,6 +14,11 @@ import (
 
 // Prefix is the OSS key namespace for containers.
 const Prefix = "containers/"
+
+// QuarantinePrefix is where Quarantine moves corrupt container objects:
+// out of the live namespace (so scans and restores stop tripping over
+// them) but preserved for forensics.
+const QuarantinePrefix = "quarantine/"
 
 func dataKey(id ID) string { return Prefix + id.String() + ".data" }
 func metaKey(id ID) string { return Prefix + id.String() + ".meta" }
@@ -87,13 +93,34 @@ func (s *Store) Capacity() int { return s.shared.capacity }
 // AllocateID returns a fresh container ID.
 func (s *Store) AllocateID() ID { return ID(s.shared.nextID.Add(1)) }
 
-// Write persists a container (data then metadata, so a metadata object
-// never references missing data).
+// Seal finalises a container for writing: stamps the current format
+// version, the payload size, and every chunk's checksum. Write calls it
+// implicitly; the journaled-rewrite path calls it before encoding.
+func (c *Container) Seal() error {
+	c.Meta.Version = MetaV2
+	c.Meta.DataSize = uint32(len(c.Data))
+	for i := range c.Meta.Chunks {
+		cm := &c.Meta.Chunks[i]
+		data, err := c.ChunkData(cm)
+		if err != nil {
+			return fmt.Errorf("container %s: seal: %w", c.Meta.ID, err)
+		}
+		cm.Sum = ChecksumOf(data)
+	}
+	return nil
+}
+
+// Write persists a container in format v2 (data then metadata, so a
+// metadata object never references missing data). Chunk checksums are
+// recomputed from the payload, so rewriting a v1 container upgrades it.
 func (s *Store) Write(c *Container) error {
 	if c.Meta.ID == Invalid {
 		return fmt.Errorf("container: write with invalid ID")
 	}
-	if err := s.oss.Put(dataKey(c.Meta.ID), c.Data); err != nil {
+	if err := c.Seal(); err != nil {
+		return err
+	}
+	if err := s.oss.Put(dataKey(c.Meta.ID), EncodeData(c.Data)); err != nil {
 		return fmt.Errorf("container %s: write data: %w", c.Meta.ID, err)
 	}
 	if err := s.oss.Put(metaKey(c.Meta.ID), EncodeMeta(&c.Meta)); err != nil {
@@ -103,17 +130,69 @@ func (s *Store) Write(c *Container) error {
 	return nil
 }
 
-// Read fetches a full container (metadata + payload).
+// Read fetches a full container (metadata + payload) and verifies every
+// live chunk against its checksum. Corruption in live data surfaces as a
+// *CorruptError (errors.Is ErrCorrupt); rot confined to deleted regions
+// does not fail reads — the scrub pass detects and clears it.
 func (s *Store) Read(id ID) (*Container, error) {
-	m, err := s.ReadMeta(id)
+	c, _, err := s.ReadRaw(id)
 	if err != nil {
 		return nil, err
 	}
-	data, err := s.oss.Get(dataKey(id))
-	if err != nil {
-		return nil, fmt.Errorf("container %s: read data: %w", id, err)
+	for i := range c.Meta.Chunks {
+		cm := &c.Meta.Chunks[i]
+		if cm.Deleted {
+			continue
+		}
+		if verr := c.VerifyChunk(cm); verr != nil {
+			return nil, fmt.Errorf("container %s: read data: %w", id, verr)
+		}
 	}
-	return &Container{Meta: *m, Data: data}, nil
+	return c, nil
+}
+
+// ReadRaw fetches a container without chunk verification — the scrub path,
+// which wants the damaged payload to salvage intact chunks from. footerOK
+// reports the data object's whole-payload checksum (always true for v1).
+func (s *Store) ReadRaw(id ID) (c *Container, footerOK bool, err error) {
+	m, err := s.ReadMeta(id)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := s.oss.Get(dataKey(id))
+	if err != nil {
+		return nil, false, fmt.Errorf("container %s: read data: %w", id, err)
+	}
+	payload, footerOK := SplitData(m, raw)
+	return &Container{Meta: *m, Data: payload}, footerOK, nil
+}
+
+// GetRawData fetches a container's encoded data object verbatim (footer
+// included) — the journal replay path, which compares it against a
+// journaled checksum without interpreting it.
+func (s *Store) GetRawData(id ID) ([]byte, error) {
+	return s.oss.Get(dataKey(id))
+}
+
+// PutRaw writes pre-encoded objects for a container — the crash-recovery
+// path, which replays byte-exact journaled state. Either argument may be
+// nil to leave that object untouched. The metadata cache entry is dropped
+// so subsequent reads see the new state.
+func (s *Store) PutRaw(id ID, encData, encMeta []byte) error {
+	if encData != nil {
+		if err := s.oss.Put(dataKey(id), encData); err != nil {
+			return fmt.Errorf("container %s: put raw data: %w", id, err)
+		}
+	}
+	if encMeta != nil {
+		if err := s.oss.Put(metaKey(id), encMeta); err != nil {
+			return fmt.Errorf("container %s: put raw meta: %w", id, err)
+		}
+	}
+	s.shared.mu.Lock()
+	delete(s.shared.metaCache, id)
+	s.shared.mu.Unlock()
+	return nil
 }
 
 // ReadMeta fetches container metadata, through the cache.
@@ -162,7 +241,44 @@ func (s *Store) ReadChunk(id ID, fp fingerprint.FP) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("container %s: read chunk %s: %w", id, fp.Short(), err)
 	}
+	if m.Checksummed() {
+		if int64(len(data)) != int64(cm.Size) {
+			return nil, &CorruptError{Container: id, FP: fp,
+				Detail: fmt.Sprintf("ranged read returned %d bytes, want %d", len(data), cm.Size)}
+		}
+		if got := ChecksumOf(data); got != cm.Sum {
+			return nil, &CorruptError{Container: id, FP: fp,
+				Detail: fmt.Sprintf("checksum %08x, want %08x", got, cm.Sum)}
+		}
+	}
 	return data, nil
+}
+
+// Quarantine moves a container's objects under QuarantinePrefix and drops
+// them from the live namespace. Missing objects are tolerated (a corrupt
+// container may have lost either half). The payload is preserved verbatim
+// for forensics; nothing reads quarantined keys.
+func (s *Store) Quarantine(id ID) error {
+	for _, suffix := range []string{".data", ".meta"} {
+		key := Prefix + id.String() + suffix
+		raw, err := s.oss.Get(key)
+		if err != nil {
+			if errors.Is(err, oss.ErrNotFound) {
+				continue
+			}
+			return fmt.Errorf("container %s: quarantine read: %w", id, err)
+		}
+		if err := s.oss.Put(QuarantinePrefix+id.String()+suffix, raw); err != nil {
+			return fmt.Errorf("container %s: quarantine write: %w", id, err)
+		}
+		if err := s.oss.Delete(key); err != nil {
+			return fmt.Errorf("container %s: quarantine delete: %w", id, err)
+		}
+	}
+	s.shared.mu.Lock()
+	delete(s.shared.metaCache, id)
+	s.shared.mu.Unlock()
+	return nil
 }
 
 // Delete removes a container's data and metadata.

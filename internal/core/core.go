@@ -11,6 +11,7 @@ import (
 	"slimstore/internal/container"
 	"slimstore/internal/fingerprint"
 	"slimstore/internal/globalindex"
+	"slimstore/internal/journal"
 	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
 	"slimstore/internal/simclock"
@@ -177,6 +178,9 @@ type Repo struct {
 	Recipes    *recipe.Store
 	SimIndex   *simindex.Index
 	Global     *globalindex.Index
+	// Journal is the intent journal for multi-object reorganisations;
+	// OpenRepo replays surviving records before returning.
+	Journal *journal.Store
 }
 
 // OpenRepo opens (or initialises) the storage layer on an OSS store.
@@ -200,14 +204,25 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open global index: %w", err)
 	}
-	return &Repo{
+	js, err := journal.Open(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: open journal: %w", err)
+	}
+	r := &Repo{
 		Config:     cfg,
 		Base:       store,
 		Containers: cs,
 		Recipes:    recipe.NewStore(store),
 		SimIndex:   si,
 		Global:     gi,
-	}, nil
+		Journal:    js,
+	}
+	// Roll forward any reorganisation a previous process crashed in the
+	// middle of, before this process does new work against the repo.
+	if _, err := r.ReplayJournal(); err != nil {
+		return nil, fmt.Errorf("core: replay journal: %w", err)
+	}
+	return r, nil
 }
 
 // Metered returns an OSS view charging acct under the repo's cost model.

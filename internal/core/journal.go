@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/journal"
+	"slimstore/internal/oss"
+	"slimstore/internal/recipe"
+)
+
+// This file holds the apply half of the intent-journal protocol (see
+// package journal). The G-node commits a record and calls the matching
+// Apply*; OpenRepo replays surviving records through the same functions,
+// so every step here must be idempotent. Apply functions end by flushing
+// the global index: its LSM buffers writes, and removing a journal record
+// before the index mutations are durable would lose them to a crash.
+
+// ReplayJournal rolls forward (or, for rewrites whose payload never
+// landed, rolls back) every surviving journal record, in commit order. It
+// returns the number of records replayed. OpenRepo calls it before the
+// repo does any new work; FullSweep calls it to reclaim half-committed
+// operations from a crashed peer.
+func (r *Repo) ReplayJournal() (int, error) {
+	keys, err := r.Journal.List()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, k := range keys {
+		rec, err := r.Journal.Get(k)
+		if err != nil {
+			if errors.Is(err, oss.ErrNotFound) {
+				continue // a concurrent replayer got there first
+			}
+			return n, err
+		}
+		switch rec.Kind {
+		case journal.KindSCC:
+			err = r.ApplySCC(rec, nil, nil)
+		case journal.KindGC:
+			_, err = r.ApplyGC(rec, nil, nil)
+		case journal.KindRewrite:
+			err = r.replayRewrite(rec)
+		default:
+			return n, fmt.Errorf("core: journal record %d has unknown kind %q", rec.Seq, rec.Kind)
+		}
+		if err != nil {
+			return n, fmt.Errorf("core: replay journal record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		if err := r.Journal.Remove(k); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// ApplySCC performs the committed half of a sparse-container compaction:
+// the moved chunks already live in their new containers; this repoints
+// the global index, rewrites the version's recipe and catalog entry, and
+// marks the moved chunks deleted in the drained sources. Safe to re-run.
+// cs and rs direct the I/O (metered views); nil selects the repo's
+// unmetered stores (the replay path).
+func (r *Repo) ApplySCC(rec *journal.Record, cs *container.Store, rs *recipe.Store) error {
+	if cs == nil {
+		cs = r.Containers
+	}
+	if rs == nil {
+		rs = r.Recipes
+	}
+	moved, err := rec.MovedFPs()
+	if err != nil {
+		return err
+	}
+
+	// Index first: restores redirect relocated chunks through it, so no
+	// window may exist where a redirect would miss.
+	for fp, nid := range moved {
+		if err := r.Global.Put(fp, nid); err != nil {
+			return err
+		}
+	}
+
+	// Recipe: this version's restores stop touching the sparse sources.
+	// A missing recipe means the version was deleted after the commit;
+	// the remaining steps still apply.
+	rcp, err := rs.GetRecipe(rec.FileID, rec.Version)
+	switch {
+	case errors.Is(err, oss.ErrNotFound):
+	case err != nil:
+		return err
+	default:
+		rcp.Iter(func(_, _ int, cr *recipe.ChunkRecord) bool {
+			if nid, ok := moved[cr.FP]; ok {
+				cr.Container = nid
+			}
+			return true
+		})
+		if _, err := rs.PutRecipe(rcp); err != nil {
+			return err
+		}
+
+		// Catalog: refresh the container list and associate the drained
+		// sources with this version as garbage (§VI-B).
+		info, err := rs.GetInfo(rec.FileID, rec.Version)
+		if err != nil && !errors.Is(err, oss.ErrNotFound) {
+			return err
+		}
+		if err == nil {
+			refs := make(map[container.ID]bool)
+			rcp.Iter(func(_, _ int, cr *recipe.ChunkRecord) bool {
+				refs[cr.Container] = true
+				return true
+			})
+			info.Containers = info.Containers[:0]
+			for id := range refs {
+				info.Containers = append(info.Containers, id)
+			}
+			sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
+			garbage := make(map[container.ID]bool, len(info.Garbage))
+			for _, id := range info.Garbage {
+				garbage[id] = true
+			}
+			for _, id := range journal.IDs(rec.Sparse) {
+				if !garbage[id] {
+					info.Garbage = append(info.Garbage, id)
+				}
+			}
+			if err := rs.PutInfo(info); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Mark the moved chunks deleted in the sources, now that nothing
+	// routes reads to them (the index and recipe point at the copies).
+	for _, id := range journal.IDs(rec.Sparse) {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			if errors.Is(err, oss.ErrNotFound) {
+				continue // already swept
+			}
+			return err
+		}
+		cp := *m
+		cp.Chunks = append([]container.ChunkMeta(nil), m.Chunks...)
+		dirty := false
+		for fp := range moved {
+			if cm := cp.Find(fp); cm != nil && !cm.Deleted {
+				cm.Deleted = true
+				dirty = true
+			}
+		}
+		if dirty {
+			if err := cs.WriteMeta(&cp); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Global.Flush()
+}
+
+// GCApply reports what a version-deletion apply actually swept.
+type GCApply struct {
+	ContainersCollected int
+	BytesReclaimed      int64
+	IndexEntriesRemoved int
+}
+
+// ApplyGC performs the committed half of a version deletion: removes the
+// version's recipe, catalog entry and similarity sketch, then sweeps the
+// journaled garbage containers that no surviving version references.
+// Safe to re-run — deletes tolerate already-deleted state. cs and rs
+// direct the I/O (metered views); nil selects the repo's unmetered
+// stores (the replay path).
+func (r *Repo) ApplyGC(rec *journal.Record, cs *container.Store, rs *recipe.Store) (*GCApply, error) {
+	if cs == nil {
+		cs = r.Containers
+	}
+	if rs == nil {
+		rs = r.Recipes
+	}
+	out := &GCApply{}
+	if err := rs.DeleteRecipe(rec.FileID, rec.Version); err != nil {
+		return nil, err
+	}
+	if err := rs.DeleteInfo(rec.FileID, rec.Version); err != nil {
+		return nil, err
+	}
+	if err := r.SimIndex.Remove(rec.FileID, rec.Version); err != nil {
+		return nil, err
+	}
+	if len(rec.Garbage) > 0 {
+		live, err := r.LiveContainerRefs(rs)
+		if err != nil {
+			return nil, err
+		}
+		cands := make(map[container.ID]bool)
+		for _, id := range journal.IDs(rec.Garbage) {
+			if !live[id] {
+				cands[id] = true
+			}
+		}
+		pinned, err := r.redirectPins(cs, rs, cands)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range journal.IDs(rec.Garbage) {
+			if live[id] || pinned[id] {
+				continue // still referenced (e.g. out-of-order deletion)
+			}
+			reclaimed, removed, err := r.DropContainer(cs, id)
+			if err != nil {
+				return nil, err
+			}
+			out.ContainersCollected++
+			out.BytesReclaimed += reclaimed
+			out.IndexEntriesRemoved += removed
+		}
+	}
+	return out, r.Global.Flush()
+}
+
+// redirectPins reports which garbage candidates must survive because a
+// live recipe redirects into them. Reverse dedup deletes an old copy of a
+// chunk and repoints the global index at a *newer* container, so an old
+// version's recipe — which still names the drained container — resolves
+// the chunk through the index at restore time. The redirect target never
+// appears in that version's catalog entry, so the info-based liveness
+// check alone would let an out-of-order deletion (or a cross-file
+// dependency) drop the only physical copy of a still-referenced chunk.
+// This pass catches exactly those: a candidate is pinned when it is the
+// index-canonical home of a fingerprint that some live recipe references
+// via a different container.
+func (r *Repo) redirectPins(cs *container.Store, rs *recipe.Store, cands map[container.ID]bool) (map[container.ID]bool, error) {
+	// Fingerprints whose canonical copy sits in a candidate.
+	own := make(map[fingerprint.FP]container.ID)
+	for id := range cands {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			continue // unreadable meta: DropContainer will no-op it anyway
+		}
+		for i := range m.Chunks {
+			cm := &m.Chunks[i]
+			if cm.Deleted {
+				continue
+			}
+			cur, found, err := r.Global.Get(cm.FP)
+			if err != nil {
+				return nil, err
+			}
+			if found && cur == id {
+				own[cm.FP] = id
+			}
+		}
+	}
+	if len(own) == 0 {
+		return nil, nil
+	}
+
+	pinned := make(map[container.ID]bool)
+	files, err := rs.Files()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		versions, err := rs.Versions(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			rcp, err := rs.GetRecipe(f, v)
+			if err != nil {
+				if errors.Is(err, oss.ErrNotFound) {
+					continue // catalog entry without a recipe: nothing to pin
+				}
+				return nil, err
+			}
+			rcp.Iter(func(_, _ int, cr *recipe.ChunkRecord) bool {
+				if cand, ok := own[cr.FP]; ok && cr.Container != cand {
+					pinned[cand] = true
+				}
+				return len(pinned) < len(cands) // all pinned: stop early
+			})
+			if len(pinned) == len(cands) {
+				return pinned, nil
+			}
+		}
+	}
+	return pinned, nil
+}
+
+// replayRewrite resolves an interrupted in-place container rewrite. The
+// record committed before the new data object was put, so two states are
+// possible: the data landed (checksum matches) — roll forward by writing
+// the journaled metadata — or it never landed — the old objects are
+// untouched, so dropping the record rolls back.
+func (r *Repo) replayRewrite(rec *journal.Record) error {
+	id := container.ID(rec.Target)
+	raw, err := r.Containers.GetRawData(id)
+	if err != nil {
+		if errors.Is(err, oss.ErrNotFound) {
+			return nil // container gone entirely: nothing to finish
+		}
+		return err
+	}
+	if int64(len(raw)) != rec.DataLen || container.ChecksumOf(raw) != rec.DataCRC {
+		return nil // new payload never landed: old state intact, roll back
+	}
+	return r.Containers.PutRaw(id, nil, rec.Meta)
+}
+
+// RewriteContainer physically removes deleted chunks from a container,
+// keeping its ID (recipes referencing surviving chunks stay valid). The
+// rewrite replaces both objects of an existing container, so it runs
+// under a journal record: commit {new meta, new data checksum} → put data
+// → put meta → remove record. m supplies the freshest deletion marks; cs
+// directs the I/O (typically a metered view). Returns bytes freed.
+func (r *Repo) RewriteContainer(cs *container.Store, m *container.Meta) (int64, error) {
+	c, err := cs.Read(m.ID)
+	if err != nil {
+		return 0, fmt.Errorf("core: rewrite %s: %w", m.ID, err)
+	}
+	nc := &container.Container{Meta: container.Meta{ID: m.ID}}
+	for i := range m.Chunks {
+		cm := &m.Chunks[i]
+		if cm.Deleted {
+			continue
+		}
+		data := c.Data[cm.Offset : int64(cm.Offset)+int64(cm.Size)]
+		nc.Meta.Chunks = append(nc.Meta.Chunks, container.ChunkMeta{
+			FP:     cm.FP,
+			Offset: uint32(len(nc.Data)),
+			Size:   cm.Size,
+		})
+		nc.Data = append(nc.Data, data...)
+	}
+	if err := r.WriteRebuilt(cs, nc); err != nil {
+		return 0, err
+	}
+	return int64(len(c.Data)) - int64(len(nc.Data)), nil
+}
+
+// WriteRebuilt journals and writes a rebuilt container over its existing
+// ID (the commit → data → meta → remove protocol of KindRewrite). The
+// scrub pass uses it directly when it has reassembled a container from
+// intact local chunks plus donor copies.
+func (r *Repo) WriteRebuilt(cs *container.Store, nc *container.Container) error {
+	if err := nc.Seal(); err != nil {
+		return err
+	}
+	encData := container.EncodeData(nc.Data)
+	encMeta := container.EncodeMeta(&nc.Meta)
+
+	key, err := r.Journal.Commit(&journal.Record{
+		Kind:    journal.KindRewrite,
+		Target:  uint64(nc.Meta.ID),
+		Meta:    encMeta,
+		DataCRC: container.ChecksumOf(encData),
+		DataLen: int64(len(encData)),
+	})
+	if err != nil {
+		return err
+	}
+	if err := cs.PutRaw(nc.Meta.ID, encData, encMeta); err != nil {
+		return err
+	}
+	return r.Journal.Remove(key)
+}
+
+// LiveContainerRefs scans the catalog for every container referenced by a
+// live version.
+func (r *Repo) LiveContainerRefs(rs *recipe.Store) (map[container.ID]bool, error) {
+	live := make(map[container.ID]bool)
+	files, err := rs.Files()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		versions, err := rs.Versions(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			info, err := rs.GetInfo(f, v)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range info.Containers {
+				live[id] = true
+			}
+		}
+	}
+	return live, nil
+}
+
+// DropContainer deletes a container and its global-index entries,
+// returning the bytes reclaimed and index entries removed. Dropping an
+// already-dropped container is a no-op.
+func (r *Repo) DropContainer(cs *container.Store, id container.ID) (int64, int, error) {
+	m, err := cs.ReadMeta(id)
+	if err != nil {
+		// Already gone (e.g. swept via another version's garbage list).
+		return 0, 0, nil
+	}
+	removed := 0
+	for i := range m.Chunks {
+		cm := &m.Chunks[i]
+		cur, found, err := r.Global.Get(cm.FP)
+		if err != nil {
+			return 0, 0, err
+		}
+		if found && cur == id {
+			if err := r.Global.Delete(cm.FP); err != nil {
+				return 0, 0, err
+			}
+			removed++
+		}
+	}
+	reclaimed := int64(m.DataSize) + int64(len(container.EncodeMeta(m)))
+	if err := cs.Delete(id); err != nil {
+		return 0, 0, err
+	}
+	return reclaimed, removed, nil
+}

@@ -1,0 +1,194 @@
+package gnode
+
+import (
+	"bytes"
+	"testing"
+
+	"slimstore/internal/core"
+	"slimstore/internal/lnode"
+	"slimstore/internal/oss"
+)
+
+// These tests kill G-node reorganisations at every possible OSS put and
+// verify the intent journal makes each outcome safe: after "reboot"
+// (reopening the repo, which replays the journal), every version restores
+// byte-identical and the audit sweep converges.
+
+// cloneMem snapshots an in-memory store, giving each crash point a
+// pristine copy of the baseline state.
+func cloneMem(t *testing.T, src *oss.Mem) *oss.Mem {
+	t.Helper()
+	dst := oss.NewMem()
+	keys, err := src.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		b, err := src.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Put(k, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// sccBaseline builds a repo with two versions of one file where the
+// second version's backup flagged sparse containers, so CompactSparse has
+// real work. Returns the store, config, version data and the stats of the
+// compactable version.
+func sccBaseline(t *testing.T) (*oss.Mem, core.Config, map[int][]byte, *lnode.BackupStats) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.SparseUtilization = 0.99 // flag aggressively so SCC always has input
+	mem := oss.NewMem()
+	repo, err := core.OpenRepo(mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := lnode.New(repo, "l0")
+
+	v0 := genData(10, 1<<20)
+	if _, err := ln.Backup("f", v0); err != nil {
+		t.Fatal(err)
+	}
+	// Scatter single-byte edits: v1 shares most chunks with v0 but uses
+	// each of v0's containers only partially, so they are flagged sparse.
+	v1 := append([]byte{}, v0...)
+	for off := 32 << 10; off < len(v1); off += 32 << 10 {
+		v1[off] ^= 0xFF
+	}
+	st, err := ln.Backup("f", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SparseContainers) == 0 {
+		t.Fatal("baseline produced no sparse containers; crash coverage would be vacuous")
+	}
+	return mem, cfg, map[int][]byte{0: v0, 1: v1}, st
+}
+
+// verifyAfterReboot reopens the repo from the bare store (journal replay
+// runs inside OpenRepo) and checks every surviving version restores
+// byte-identical, then that the audit sweep runs clean.
+func verifyAfterReboot(t *testing.T, mem *oss.Mem, cfg core.Config, want map[int][]byte) {
+	t.Helper()
+	repo, err := core.OpenRepo(mem, cfg)
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	ln := lnode.New(repo, "l0")
+	for v, data := range want {
+		var buf bytes.Buffer
+		if _, err := ln.Restore("f", v, &buf); err != nil {
+			t.Fatalf("post-crash restore v%d: %v", v, err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("post-crash restore v%d differs from original", v)
+		}
+	}
+	if _, err := New(repo).FullSweep(); err != nil {
+		t.Fatalf("post-crash sweep: %v", err)
+	}
+}
+
+func TestCompactSparseCrashAtEveryPut(t *testing.T) {
+	baseline, cfg, want, st := sccBaseline(t)
+
+	completed := false
+	for n := 0; n < 300 && !completed; n++ {
+		mem := cloneMem(t, baseline)
+		faulty := oss.NewFaulty(mem)
+		repo, err := core.OpenRepo(faulty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn := New(repo)
+		faulty.FailPutsAfter(n)
+		_, err = gn.CompactSparse("f", st.Version, st.SparseContainers)
+		if err == nil {
+			completed = true
+		}
+		// "Crash": abandon the repo object (buffered index state dies with
+		// it) and reboot from what actually reached the store.
+		verifyAfterReboot(t, mem, cfg, want)
+	}
+	if !completed {
+		t.Fatal("compaction never ran to completion within the put budget")
+	}
+
+	// Sanity: on the fully-compacted state the journal is empty.
+	repo, err := core.OpenRepo(baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := New(repo)
+	if _, err := gn.CompactSparse("f", st.Version, st.SparseContainers); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := repo.Journal.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("journal records survive a successful compaction: %v", keys)
+	}
+}
+
+func TestDeleteVersionCrashAtEveryPut(t *testing.T) {
+	baseline, cfg, want, st := sccBaseline(t)
+	// Compact first so version 0 owns garbage containers worth sweeping.
+	{
+		repo, err := core.OpenRepo(baseline, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(repo).CompactSparse("f", st.Version, st.SparseContainers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	completed := false
+	for n := 0; n < 300 && !completed; n++ {
+		mem := cloneMem(t, baseline)
+		faulty := oss.NewFaulty(mem)
+		repo, err := core.OpenRepo(faulty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty.FailPutsAfter(n)
+		_, err = New(repo).DeleteVersion("f", 0)
+		faulty.Clear()
+		if err == nil {
+			completed = true
+		}
+
+		// Reboot. Version 0 is in limbo only until replay: afterwards it
+		// either fully exists or is fully gone.
+		repo2, err := core.OpenRepo(mem, cfg)
+		if err != nil {
+			t.Fatalf("reboot: %v", err)
+		}
+		vs, err := repo2.Recipes.Versions("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		surviving := map[int][]byte{}
+		for _, v := range vs {
+			data, ok := want[v]
+			if !ok {
+				t.Fatalf("unknown version %d after crash", v)
+			}
+			surviving[v] = data
+		}
+		if _, ok := surviving[1]; !ok {
+			t.Fatal("deleting v0 took v1 with it")
+		}
+		verifyAfterReboot(t, mem, cfg, surviving)
+	}
+	if !completed {
+		t.Fatal("deletion never ran to completion within the put budget")
+	}
+}

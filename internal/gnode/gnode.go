@@ -8,12 +8,15 @@
 package gnode
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"slimstore/internal/container"
 	"slimstore/internal/core"
 	"slimstore/internal/fingerprint"
+	"slimstore/internal/journal"
+	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
 	"slimstore/internal/simclock"
 )
@@ -69,6 +72,12 @@ func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, 
 	for _, id := range newContainers {
 		m, err := cs.ReadMeta(id)
 		if err != nil {
+			// The list is advisory (captured at backup time); a container
+			// scrub-quarantined or swept since then simply has nothing left
+			// to deduplicate.
+			if errors.Is(err, oss.ErrNotFound) {
+				continue
+			}
 			return nil, fmt.Errorf("gnode: reverse dedup: %w", err)
 		}
 		stats.ContainersScanned++
@@ -118,6 +127,13 @@ func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, 
 	}
 	stats.BloomSkips = gi.Stats().BloomSkips - before
 
+	// Make the repoints durable before any physical rewrite: a rewrite
+	// destroys the old copies, and if a crash lost the buffered index
+	// mutations, restores redirecting through the index would dangle.
+	if err := gi.Flush(); err != nil {
+		return nil, err
+	}
+
 	// Persist metadata marks; rewrite containers past the threshold.
 	ids := make([]container.ID, 0, len(dirtyMeta))
 	for id := range dirtyMeta {
@@ -130,7 +146,7 @@ func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, 
 			return nil, err
 		}
 		if m.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
-			freed, err := g.rewriteContainer(cs, m)
+			freed, err := g.repo.RewriteContainer(cs, m)
 			if err != nil {
 				return nil, err
 			}
@@ -139,37 +155,6 @@ func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, 
 		}
 	}
 	return stats, nil
-}
-
-// rewriteContainer physically removes deleted chunks from a container,
-// keeping its ID (recipes referencing surviving chunks stay valid).
-func (g *GNode) rewriteContainer(cs *container.Store, m *container.Meta) (int64, error) {
-	c, err := cs.Read(m.ID)
-	if err != nil {
-		return 0, fmt.Errorf("gnode: rewrite %s: %w", m.ID, err)
-	}
-	// Use the freshest metadata (m) rather than what Read returned: m may
-	// carry marks not yet visible through the cache.
-	nc := &container.Container{Meta: container.Meta{ID: m.ID}}
-	for i := range m.Chunks {
-		cm := &m.Chunks[i]
-		if cm.Deleted {
-			continue
-		}
-		data := c.Data[cm.Offset : int64(cm.Offset)+int64(cm.Size)]
-		nc.Meta.Chunks = append(nc.Meta.Chunks, container.ChunkMeta{
-			FP:     cm.FP,
-			Offset: uint32(len(nc.Data)),
-			Size:   cm.Size,
-		})
-		nc.Data = append(nc.Data, data...)
-	}
-	nc.Meta.DataSize = uint32(len(nc.Data))
-	freed := int64(len(c.Data)) - int64(len(nc.Data))
-	if err := cs.Write(nc); err != nil {
-		return 0, err
-	}
-	return freed, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -204,6 +189,11 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 
 	r, err := rs.GetRecipe(fileID, version)
 	if err != nil {
+		// Compaction requests are advisory; the version may have been
+		// deleted since the backup that queued it.
+		if errors.Is(err, oss.ErrNotFound) {
+			return stats, nil
+		}
 		return nil, fmt.Errorf("gnode: scc: %w", err)
 	}
 
@@ -219,8 +209,11 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 		return true
 	})
 
-	// Copy the needed chunks into new containers and mark the originals
-	// deleted (their bytes move to the new version's storage).
+	// Prepare: copy the needed chunks into fresh containers. The sources
+	// stay untouched and nothing references the copies yet, so a crash
+	// here leaks only unreferenced containers — FullSweep reclaims them.
+	// The verified Read aborts on corrupt sources rather than laundering
+	// bad bytes into freshly checksummed containers.
 	builder := container.NewBuilder(cs)
 	moved := make(map[fingerprint.FP]container.ID)
 	newSet := make(map[container.ID]bool)
@@ -231,12 +224,15 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 		}
 		c, err := cs.Read(id)
 		if err != nil {
+			// A quarantined or already-collected source has no chunks to
+			// move; corrupt sources still abort loudly (no laundering).
+			if errors.Is(err, oss.ErrNotFound) {
+				continue
+			}
 			return nil, fmt.Errorf("gnode: scc read %s: %w", id, err)
 		}
-		meta := c.Meta
-		metaDirty := false
 		for _, fp := range fps {
-			cm := meta.Find(fp)
+			cm := c.Meta.Find(fp)
 			if cm == nil || cm.Deleted {
 				continue // already moved by an earlier pass
 			}
@@ -250,24 +246,8 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 			}
 			moved[fp] = nid
 			newSet[nid] = true
-			cm.Deleted = true
-			metaDirty = true
 			stats.ChunksMoved++
 			stats.BytesMoved += int64(cm.Size)
-		}
-		if metaDirty {
-			if err := cs.WriteMeta(&meta); err != nil {
-				return nil, err
-			}
-			// The moved bytes are dead weight in the sparse container;
-			// rewrite it physically once past the stale threshold so the
-			// paper's Fig 9 property holds: compaction shrinks the storage
-			// attributable to old versions rather than growing totals.
-			if meta.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
-				if _, err := g.rewriteContainer(cs, &meta); err != nil {
-					return nil, err
-				}
-			}
 		}
 	}
 	if err := builder.Flush(); err != nil {
@@ -276,59 +256,50 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 	if len(moved) == 0 {
 		return stats, nil
 	}
-
-	// Repoint the global index before the recipe so no window exists where
-	// a redirect would fail.
-	for fp, nid := range moved {
-		if err := g.repo.Global.Put(fp, nid); err != nil {
-			return nil, err
-		}
-	}
-
-	// Update the recipe in place: the restore of this version no longer
-	// touches the sparse containers.
-	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
-		if nid, ok := moved[rec.FP]; ok {
-			rec.Container = nid
-		}
-		return true
-	})
-	if _, err := rs.PutRecipe(r); err != nil {
-		return nil, err
-	}
-
-	// Refresh the catalog: container list changes, and the drained sparse
-	// containers become garbage associated with this version (§VI-B).
-	info, err := rs.GetInfo(fileID, version)
-	if err != nil {
-		return nil, err
-	}
-	refs := make(map[container.ID]bool)
-	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
-		refs[rec.Container] = true
-		return true
-	})
-	info.Containers = info.Containers[:0]
-	for id := range refs {
-		info.Containers = append(info.Containers, id)
-	}
-	sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
-	garbage := make(map[container.ID]bool, len(info.Garbage))
-	for _, id := range info.Garbage {
-		garbage[id] = true
-	}
-	for _, id := range sparse {
-		if !garbage[id] {
-			info.Garbage = append(info.Garbage, id)
-		}
-	}
-	if err := rs.PutInfo(info); err != nil {
-		return nil, err
-	}
 	for id := range newSet {
 		stats.NewContainers = append(stats.NewContainers, id)
 	}
 	sort.Slice(stats.NewContainers, func(a, b int) bool { return stats.NewContainers[a] < stats.NewContainers[b] })
+
+	// Commit: one journal put is the atomic transition point. Before it,
+	// the compaction never happened; after it, replay completes it.
+	rec := &journal.Record{
+		Kind:    journal.KindSCC,
+		FileID:  fileID,
+		Version: version,
+		Sparse:  journal.RawIDs(sparse),
+		New:     journal.RawIDs(stats.NewContainers),
+	}
+	rec.SetMoved(moved)
+	key, err := g.repo.Journal.Commit(rec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Apply: repoint index, rewrite recipe and catalog, mark the sources'
+	// moved chunks deleted — all idempotent (shared with journal replay).
+	if err := g.repo.ApplySCC(rec, cs, rs); err != nil {
+		return nil, err
+	}
+	if err := g.repo.Journal.Remove(key); err != nil {
+		return nil, err
+	}
+
+	// The moved bytes are dead weight in the sparse containers; rewrite
+	// any past the stale threshold so the paper's Fig 9 property holds:
+	// compaction shrinks the storage attributable to old versions rather
+	// than growing totals. Each rewrite journals independently.
+	for _, id := range sparse {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			continue // e.g. already swept
+		}
+		if m.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
+			if _, err := g.repo.RewriteContainer(cs, m); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return stats, nil
 }
 
@@ -363,92 +334,30 @@ func (g *GNode) DeleteVersion(fileID string, version int) (*GCStats, error) {
 	}
 	stats.GarbageCandidates = len(info.Garbage)
 
-	// Remove the version's metadata first so the reference scan below
-	// sees only live versions.
-	if err := rs.DeleteRecipe(fileID, version); err != nil {
-		return nil, err
+	// Commit the intent (the catalog entry holding the garbage list is
+	// about to be deleted; the journal record preserves it so a crashed
+	// sweep can resume), then apply and clear the record.
+	rec := &journal.Record{
+		Kind:    journal.KindGC,
+		FileID:  fileID,
+		Version: version,
+		Garbage: journal.RawIDs(info.Garbage),
 	}
-	if err := rs.DeleteInfo(fileID, version); err != nil {
-		return nil, err
-	}
-	if err := g.repo.SimIndex.Remove(fileID, version); err != nil {
-		return nil, err
-	}
-
-	if len(info.Garbage) == 0 {
-		return stats, nil
-	}
-	live, err := g.liveContainerRefs(rs)
+	key, err := g.repo.Journal.Commit(rec)
 	if err != nil {
 		return nil, err
 	}
-	for _, id := range info.Garbage {
-		if live[id] {
-			continue // still referenced (e.g. out-of-order deletion)
-		}
-		reclaimed, removed, err := g.dropContainer(cs, id)
-		if err != nil {
-			return nil, err
-		}
-		stats.ContainersCollected++
-		stats.BytesReclaimed += reclaimed
-		stats.IndexEntriesRemoved += removed
+	applied, err := g.repo.ApplyGC(rec, cs, rs)
+	if err != nil {
+		return nil, err
 	}
+	if err := g.repo.Journal.Remove(key); err != nil {
+		return nil, err
+	}
+	stats.ContainersCollected = applied.ContainersCollected
+	stats.BytesReclaimed = applied.BytesReclaimed
+	stats.IndexEntriesRemoved = applied.IndexEntriesRemoved
 	return stats, nil
-}
-
-// liveContainerRefs scans the catalog for every container referenced by a
-// live version.
-func (g *GNode) liveContainerRefs(rs *recipe.Store) (map[container.ID]bool, error) {
-	live := make(map[container.ID]bool)
-	files, err := rs.Files()
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range files {
-		versions, err := rs.Versions(f)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range versions {
-			info, err := rs.GetInfo(f, v)
-			if err != nil {
-				return nil, err
-			}
-			for _, id := range info.Containers {
-				live[id] = true
-			}
-		}
-	}
-	return live, nil
-}
-
-// dropContainer deletes a container and its global-index entries.
-func (g *GNode) dropContainer(cs *container.Store, id container.ID) (int64, int, error) {
-	m, err := cs.ReadMeta(id)
-	if err != nil {
-		// Already gone (e.g. swept via another version's garbage list).
-		return 0, 0, nil
-	}
-	removed := 0
-	for i := range m.Chunks {
-		cm := &m.Chunks[i]
-		cur, found, err := g.repo.Global.Get(cm.FP)
-		if err != nil {
-			return 0, 0, err
-		}
-		if found && cur == id {
-			if err := g.repo.Global.Delete(cm.FP); err != nil {
-				return 0, 0, err
-			}
-			removed++
-		}
-	}
-	reclaimed := int64(m.DataSize) + int64(len(container.EncodeMeta(m)))
-	if err := cs.Delete(id); err != nil {
-		return 0, 0, err
-	}
-	return reclaimed, removed, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -458,13 +367,23 @@ type AuditStats struct {
 	ContainersMarked int
 	ContainersSwept  int
 	BytesReclaimed   int64
+	// JournalReplayed counts half-committed journal records rolled
+	// forward before the sweep.
+	JournalReplayed int
 }
 
-// FullSweep is the classic mark-and-sweep fallback (§II): it marks every
-// container reachable from any live recipe — resolving reverse-dedup and
-// SCC redirects through the global index — and deletes the rest. It is an
-// audit/repair tool; normal operation uses the per-version garbage lists.
+// FullSweep is the classic mark-and-sweep fallback (§II): it first rolls
+// forward any half-committed journal records left by a crashed peer, then
+// marks every container reachable from any live recipe — resolving
+// reverse-dedup and SCC redirects through the global index — and deletes
+// the rest (including containers a crash stranded before their operation
+// committed). It is an audit/repair tool; normal operation uses the
+// per-version garbage lists.
 func (g *GNode) FullSweep() (*AuditStats, error) {
+	replayed, err := g.repo.ReplayJournal()
+	if err != nil {
+		return nil, fmt.Errorf("gnode: full sweep: %w", err)
+	}
 	cs := g.containers()
 	rs := g.recipes()
 	marked := make(map[container.ID]bool)
@@ -514,12 +433,12 @@ func (g *GNode) FullSweep() (*AuditStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := &AuditStats{ContainersMarked: len(marked)}
+	stats := &AuditStats{ContainersMarked: len(marked), JournalReplayed: replayed}
 	for _, id := range all {
 		if marked[id] {
 			continue
 		}
-		reclaimed, _, err := g.dropContainer(cs, id)
+		reclaimed, _, err := g.repo.DropContainer(cs, id)
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,7 @@ type maintJob struct {
 	version       int
 	newContainers []container.ID
 	sparse        []container.ID
+	scrub         bool // integrity scrub instead of an optimisation pass
 }
 
 // MaintStats summarises background processing.
@@ -40,6 +41,8 @@ type MaintStats struct {
 	LastErr   error
 	Reverse   ReverseDedupStats // accumulated
 	SCC       SCCStats          // accumulated (counts only)
+	Scrubs    int               // scrub passes completed
+	Scrub     ScrubStats        // accumulated (counts only)
 }
 
 // NewMaintainer returns a stopped maintainer for g.
@@ -81,6 +84,20 @@ func (m *Maintainer) Enqueue(fileID string, version int, newContainers, sparse [
 	return nil
 }
 
+// EnqueueScrub queues an integrity scrub behind any pending optimisation
+// work. Like Enqueue it never blocks on G-node work.
+func (m *Maintainer) EnqueueScrub() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return fmt.Errorf("gnode: maintainer stopped")
+	}
+	m.queue = append(m.queue, maintJob{scrub: true})
+	m.stats.Enqueued++
+	m.cond.Broadcast()
+	return nil
+}
+
 func (m *Maintainer) loop() {
 	defer m.wg.Done()
 	for {
@@ -97,8 +114,18 @@ func (m *Maintainer) loop() {
 		m.active = true
 		m.mu.Unlock()
 
-		rd, err1 := m.g.ReverseDedup(job.newContainers)
-		scc, err2 := m.g.CompactSparse(job.fileID, job.version, job.sparse)
+		var (
+			rd         *ReverseDedupStats
+			scc        *SCCStats
+			sc         *ScrubStats
+			err1, err2 error
+		)
+		if job.scrub {
+			sc, err1 = m.g.Scrub()
+		} else {
+			rd, err1 = m.g.ReverseDedup(job.newContainers)
+			scc, err2 = m.g.CompactSparse(job.fileID, job.version, job.sparse)
+		}
 
 		m.mu.Lock()
 		m.stats.Processed++
@@ -123,6 +150,16 @@ func (m *Maintainer) loop() {
 			m.stats.SCC.SparseContainers += scc.SparseContainers
 			m.stats.SCC.ChunksMoved += scc.ChunksMoved
 			m.stats.SCC.BytesMoved += scc.BytesMoved
+		}
+		if sc != nil {
+			m.stats.Scrubs++
+			m.stats.Scrub.ContainersScanned += sc.ContainersScanned
+			m.stats.Scrub.ChunksVerified += sc.ChunksVerified
+			m.stats.Scrub.CorruptChunks += sc.CorruptChunks
+			m.stats.Scrub.RepairedChunks += sc.RepairedChunks
+			m.stats.Scrub.RebuiltContainers += sc.RebuiltContainers
+			m.stats.Scrub.Quarantined = append(m.stats.Scrub.Quarantined, sc.Quarantined...)
+			m.stats.Scrub.Lost = append(m.stats.Scrub.Lost, sc.Lost...)
 		}
 		m.active = false
 		m.cond.Broadcast()

@@ -1,0 +1,405 @@
+package gnode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+	"slimstore/internal/recipe"
+)
+
+// ScrubStats reports one integrity scrub of the container namespace.
+type ScrubStats struct {
+	ContainersScanned int
+	ChunksVerified    int
+	CorruptChunks     int // live chunks failing their checksum
+	RepairedChunks    int // corrupt chunks restored from intact copies
+	RebuiltContainers int // containers rewritten in place (repair or rot cleanup)
+	FooterRepairs     int // dead-region rot cleared by rebuilding
+	RecipesRewritten  int // recipes repointed away from quarantined containers
+	IndexRepointed    int // global-index entries moved to surviving copies
+	IndexPurged       int // global-index entries for unrecoverable chunks
+	JournalReplayed   int
+
+	// Quarantined lists containers moved out of the live namespace:
+	// unreadable metadata, missing payload, or live corruption with no
+	// donor for every damaged chunk.
+	Quarantined []container.ID
+	// Lost lists fingerprints with no intact copy anywhere. Restores
+	// needing them fail loudly; everything else remains restorable.
+	Lost []fingerprint.FP
+}
+
+// Clean reports whether the scrub left the repo fully intact: nothing
+// quarantined, nothing lost.
+func (s *ScrubStats) Clean() bool { return len(s.Quarantined) == 0 && len(s.Lost) == 0 }
+
+// Scrub verifies every container against its checksums and repairs what
+// it can (paper-level goal: detect silent OSS corruption before a restore
+// needs the bytes). Per container:
+//
+//   - live chunks all verify, footer stale → dead-region rot; the
+//     container is rebuilt in place, dropping the rotten dead bytes.
+//   - some live chunks corrupt, every one has an intact copy (same
+//     fingerprint) in another container → rebuilt in place with donor
+//     bytes.
+//   - otherwise → intact chunks are salvaged into fresh containers and
+//     the damaged container is quarantined; chunks with no intact copy
+//     anywhere are reported Lost.
+//
+// Afterwards the global index is repointed at surviving copies (entries
+// for lost chunks are purged so restores fail loudly instead of chasing
+// dangling references) and recipes referencing quarantined containers are
+// rewritten. Scrub is re-runnable: a crash mid-scrub leaves state a
+// subsequent Scrub (or FullSweep) finishes cleaning; in-place rebuilds go
+// through the intent journal.
+func (g *GNode) Scrub() (*ScrubStats, error) {
+	stats := &ScrubStats{}
+	replayed, err := g.repo.ReplayJournal()
+	if err != nil {
+		return nil, fmt.Errorf("gnode: scrub: %w", err)
+	}
+	stats.JournalReplayed = replayed
+	cs := g.containers()
+
+	ids, err := cs.List()
+	if err != nil {
+		return nil, fmt.Errorf("gnode: scrub: %w", err)
+	}
+
+	// Pass 1: metadata. The owners map (fingerprint → containers holding a
+	// live copy) drives donor lookups; containers whose metadata cannot be
+	// decoded are beyond repair (offsets unknown) and head to quarantine.
+	owners := make(map[fingerprint.FP][]container.ID)
+	bad := make(map[container.ID]bool)
+	for _, id := range ids {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			bad[id] = true
+			continue
+		}
+		for i := range m.Chunks {
+			if cm := &m.Chunks[i]; !cm.Deleted {
+				owners[cm.FP] = append(owners[cm.FP], id)
+			}
+		}
+	}
+
+	// Pass 2: payload verification and repair.
+	quarantined := make(map[container.ID]bool)
+	moved := make(map[fingerprint.FP]container.ID) // salvaged/repaired relocations
+	lost := make(map[fingerprint.FP]bool)
+	builder := container.NewBuilder(cs)
+
+	quarantine := func(id container.ID) error {
+		if err := cs.Quarantine(id); err != nil {
+			return fmt.Errorf("gnode: scrub: %w", err)
+		}
+		quarantined[id] = true
+		stats.Quarantined = append(stats.Quarantined, id)
+		return nil
+	}
+
+	// donor returns verified bytes for fp from any intact container other
+	// than exclude.
+	donor := func(fp fingerprint.FP, exclude container.ID) ([]byte, bool) {
+		for _, oid := range owners[fp] {
+			if oid == exclude || bad[oid] || quarantined[oid] {
+				continue
+			}
+			if data, err := cs.ReadChunk(oid, fp); err == nil {
+				return data, true
+			}
+		}
+		return nil, false
+	}
+
+	for _, id := range ids {
+		stats.ContainersScanned++
+		if bad[id] {
+			if err := quarantine(id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		c, footerOK, err := cs.ReadRaw(id)
+		if err != nil {
+			// Metadata decoded in pass 1 but the payload is now unreadable.
+			if err := quarantine(id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		var corrupt []*container.ChunkMeta
+		for i := range c.Meta.Chunks {
+			cm := &c.Meta.Chunks[i]
+			if cm.Deleted {
+				continue
+			}
+			stats.ChunksVerified++
+			if verr := c.VerifyChunk(cm); verr != nil {
+				corrupt = append(corrupt, cm)
+			}
+		}
+
+		if len(corrupt) == 0 {
+			if !footerOK && c.Meta.Checksummed() {
+				// Rot confined to deleted regions: rebuild to shed it.
+				if _, err := g.repo.RewriteContainer(cs, &c.Meta); err != nil {
+					return nil, fmt.Errorf("gnode: scrub rot cleanup %s: %w", id, err)
+				}
+				stats.FooterRepairs++
+				stats.RebuiltContainers++
+			}
+			continue
+		}
+		stats.CorruptChunks += len(corrupt)
+
+		repaired := make(map[fingerprint.FP][]byte, len(corrupt))
+		for _, cm := range corrupt {
+			if data, ok := donor(cm.FP, id); ok {
+				repaired[cm.FP] = data
+			}
+		}
+
+		if len(repaired) == len(corrupt) {
+			// Full repair: rebuild in place from local intact bytes plus
+			// donor copies; recipes and the index stay valid as-is.
+			nc := &container.Container{Meta: container.Meta{ID: id}}
+			for i := range c.Meta.Chunks {
+				cm := &c.Meta.Chunks[i]
+				if cm.Deleted {
+					continue
+				}
+				data, ok := repaired[cm.FP]
+				if !ok {
+					if data, err = c.ChunkData(cm); err != nil {
+						return nil, err
+					}
+				}
+				nc.Meta.Chunks = append(nc.Meta.Chunks, container.ChunkMeta{
+					FP:     cm.FP,
+					Offset: uint32(len(nc.Data)),
+					Size:   uint32(len(data)),
+				})
+				nc.Data = append(nc.Data, data...)
+			}
+			if err := g.repo.WriteRebuilt(cs, nc); err != nil {
+				return nil, fmt.Errorf("gnode: scrub repair %s: %w", id, err)
+			}
+			stats.RepairedChunks += len(repaired)
+			stats.RebuiltContainers++
+			continue
+		}
+
+		// Partial damage with missing donors: salvage what verifies into
+		// fresh containers, quarantine the rest.
+		for i := range c.Meta.Chunks {
+			cm := &c.Meta.Chunks[i]
+			if cm.Deleted {
+				continue
+			}
+			data, ok := repaired[cm.FP]
+			if ok {
+				stats.RepairedChunks++
+			} else {
+				if c.VerifyChunk(cm) != nil {
+					lost[cm.FP] = true
+					continue
+				}
+				if data, err = c.ChunkData(cm); err != nil {
+					return nil, err
+				}
+			}
+			nid, err := builder.Add(cm.FP, data)
+			if err != nil {
+				return nil, err
+			}
+			moved[cm.FP] = nid
+		}
+		if err := quarantine(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := builder.Flush(); err != nil {
+		return nil, err
+	}
+
+	// A fingerprint is only lost if no intact copy survived anywhere.
+	for fp := range lost {
+		if _, ok := moved[fp]; ok {
+			delete(lost, fp)
+			continue
+		}
+		if _, ok := donor(fp, container.Invalid); ok {
+			delete(lost, fp)
+		}
+	}
+
+	if len(quarantined) > 0 {
+		if err := g.scrubFixIndex(stats, quarantined, moved, lost); err != nil {
+			return nil, err
+		}
+		if err := g.scrubFixRecipes(stats, quarantined, moved); err != nil {
+			return nil, err
+		}
+	}
+	for fp := range lost {
+		stats.Lost = append(stats.Lost, fp)
+	}
+	sort.Slice(stats.Lost, func(a, b int) bool { return stats.Lost[a].String() < stats.Lost[b].String() })
+	sort.Slice(stats.Quarantined, func(a, b int) bool { return stats.Quarantined[a] < stats.Quarantined[b] })
+	if err := g.repo.Global.Flush(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// scrubFixIndex repoints global-index entries that reference quarantined
+// containers at surviving copies, and purges entries for lost chunks so
+// restore redirects fail loudly instead of dangling.
+func (g *GNode) scrubFixIndex(stats *ScrubStats, quarantined map[container.ID]bool,
+	moved map[fingerprint.FP]container.ID, lost map[fingerprint.FP]bool) error {
+
+	type fix struct {
+		fp  fingerprint.FP
+		nid container.ID // Invalid → purge
+	}
+	var fixes []fix
+	err := g.repo.Global.Scan(func(fp fingerprint.FP, id container.ID) bool {
+		if !quarantined[id] {
+			return true
+		}
+		if nid, ok := moved[fp]; ok {
+			fixes = append(fixes, fix{fp, nid})
+		} else if nid, ok := g.intactOwner(fp, quarantined); ok {
+			fixes = append(fixes, fix{fp, nid})
+		} else {
+			fixes = append(fixes, fix{fp, container.Invalid})
+			lost[fp] = true
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, f := range fixes {
+		if f.nid == container.Invalid {
+			if err := g.repo.Global.Delete(f.fp); err != nil {
+				return err
+			}
+			stats.IndexPurged++
+			continue
+		}
+		if err := g.repo.Global.Put(f.fp, f.nid); err != nil {
+			return err
+		}
+		stats.IndexRepointed++
+	}
+	return nil
+}
+
+// intactOwner finds a non-quarantined container holding a live, verified
+// copy of fp.
+func (g *GNode) intactOwner(fp fingerprint.FP, quarantined map[container.ID]bool) (container.ID, bool) {
+	cs := g.containers()
+	ids, err := cs.List()
+	if err != nil {
+		return container.Invalid, false
+	}
+	for _, id := range ids {
+		if quarantined[id] {
+			continue
+		}
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			continue
+		}
+		if cm := m.Find(fp); cm != nil && !cm.Deleted {
+			if _, err := cs.ReadChunk(id, fp); err == nil {
+				return id, true
+			}
+		}
+	}
+	return container.Invalid, false
+}
+
+// scrubFixRecipes rewrites recipes (and their catalog container lists)
+// that reference quarantined containers, pointing each record at the
+// chunk's surviving home. Records whose chunks are lost keep their stale
+// reference — the restore path reports them loudly.
+func (g *GNode) scrubFixRecipes(stats *ScrubStats, quarantined map[container.ID]bool,
+	moved map[fingerprint.FP]container.ID) error {
+
+	rs := g.recipes()
+	files, err := rs.Files()
+	if err != nil {
+		return err
+	}
+	// Resolved fp→container homes, shared across recipes to bound donor
+	// scans.
+	resolved := make(map[fingerprint.FP]container.ID, len(moved))
+	for fp, id := range moved {
+		resolved[fp] = id
+	}
+	for _, f := range files {
+		versions, err := rs.Versions(f)
+		if err != nil {
+			return err
+		}
+		for _, v := range versions {
+			r, err := rs.GetRecipe(f, v)
+			if err != nil {
+				if errors.Is(err, oss.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			changed := false
+			r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+				if !quarantined[rec.Container] {
+					return true
+				}
+				nid, ok := resolved[rec.FP]
+				if !ok {
+					if nid, ok = g.intactOwner(rec.FP, quarantined); ok {
+						resolved[rec.FP] = nid
+					}
+				}
+				if ok {
+					rec.Container = nid
+					changed = true
+				}
+				return true
+			})
+			if !changed {
+				continue
+			}
+			if _, err := rs.PutRecipe(r); err != nil {
+				return err
+			}
+			info, err := rs.GetInfo(f, v)
+			if err == nil {
+				refs := make(map[container.ID]bool)
+				r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+					refs[rec.Container] = true
+					return true
+				})
+				info.Containers = info.Containers[:0]
+				for id := range refs {
+					info.Containers = append(info.Containers, id)
+				}
+				sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
+				if err := rs.PutInfo(info); err != nil {
+					return err
+				}
+			}
+			stats.RecipesRewritten++
+		}
+	}
+	return nil
+}

@@ -297,8 +297,8 @@ func (db *DB) writeTableLocked(b *sstBuilder, level int) (tableMeta, error) {
 		Level:    level,
 		Size:     int64(len(obj)),
 		Count:    b.count,
-		Smallest: string(b.smallest),
-		Largest:  string(b.largest),
+		Smallest: append([]byte(nil), b.smallest...),
+		Largest:  append([]byte(nil), b.largest...),
 		MaxSeq:   b.maxSeq,
 	}, nil
 }
@@ -359,9 +359,9 @@ func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
 	for level := 1; level < db.opts.MaxLevels; level++ {
 		tables := db.tablesAtLocked(level)
 		i := sort.Search(len(tables), func(i int) bool {
-			return tables[i].Largest >= string(key)
+			return bytes.Compare(tables[i].Largest, key) >= 0
 		})
-		if i < len(tables) && tables[i].Smallest <= string(key) {
+		if i < len(tables) && bytes.Compare(tables[i].Smallest, key) <= 0 {
 			e, ok, err := db.tableGetLocked(tables[i], key)
 			if err != nil {
 				return nil, false, err
@@ -398,7 +398,7 @@ func (db *DB) tablesAtLocked(level int) []tableMeta {
 			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Smallest < out[j].Smallest })
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Smallest, out[j].Smallest) < 0 })
 	return out
 }
 
@@ -461,8 +461,8 @@ func (db *DB) Compact() error {
 	return nil
 }
 
-func overlaps(aMin, aMax, bMin, bMax string) bool {
-	return aMin <= bMax && bMin <= aMax
+func overlaps(aMin, aMax, bMin, bMax []byte) bool {
+	return bytes.Compare(aMin, bMax) <= 0 && bytes.Compare(bMin, aMax) <= 0
 }
 
 func (db *DB) compactLevelLocked(level int) error {
@@ -488,16 +488,36 @@ func (db *DB) compactLevelLocked(level int) error {
 	}
 	min, max := inputs[0].Smallest, inputs[0].Largest
 	for _, t := range inputs[1:] {
-		if t.Smallest < min {
+		if bytes.Compare(t.Smallest, min) < 0 {
 			min = t.Smallest
 		}
-		if t.Largest > max {
+		if bytes.Compare(t.Largest, max) > 0 {
 			max = t.Largest
 		}
 	}
-	for _, t := range db.tablesAtLocked(outLevel) {
-		if overlaps(min, max, t.Smallest, t.Largest) {
+	// Pull in overlapping outLevel tables until a fixpoint: each included
+	// table can widen [min, max], which can overlap further tables. Stopping
+	// early would leave outLevel tables overlapping the compaction output,
+	// breaking the disjointness the level Get relies on.
+	taken := make(map[string]bool, len(inputs))
+	for {
+		grew := false
+		for _, t := range db.tablesAtLocked(outLevel) {
+			if taken[t.Name] || !overlaps(min, max, t.Smallest, t.Largest) {
+				continue
+			}
+			taken[t.Name] = true
 			inputs = append(inputs, t)
+			if bytes.Compare(t.Smallest, min) < 0 {
+				min = t.Smallest
+			}
+			if bytes.Compare(t.Largest, max) > 0 {
+				max = t.Largest
+			}
+			grew = true
+		}
+		if !grew {
+			break
 		}
 	}
 
@@ -606,10 +626,10 @@ func (db *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 		all = append(all, *it.cur())
 	}
 	for _, meta := range db.man.Tables {
-		if end != nil && meta.Smallest >= string(end) {
+		if end != nil && bytes.Compare(meta.Smallest, end) >= 0 {
 			continue
 		}
-		if start != nil && meta.Largest < string(start) {
+		if start != nil && bytes.Compare(meta.Largest, start) < 0 {
 			continue
 		}
 		r, err := db.readerLocked(meta)

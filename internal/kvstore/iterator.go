@@ -104,10 +104,10 @@ func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
 	// Tables, newest first so the age tie-break is correct.
 	tables := append([]tableMeta(nil), db.man.Tables...)
 	for _, meta := range tables {
-		if start != nil && meta.Largest < string(start) {
+		if start != nil && bytes.Compare(meta.Largest, start) < 0 {
 			continue
 		}
-		if end != nil && meta.Smallest >= string(end) {
+		if end != nil && bytes.Compare(meta.Smallest, end) >= 0 {
 			continue
 		}
 		r, err := db.readerLocked(meta)

@@ -243,12 +243,16 @@ func (b *sstBuilder) finish() []byte {
 
 // tableMeta describes one SSTable in the manifest.
 type tableMeta struct {
-	Name     string `json:"name"`
-	Level    int    `json:"level"`
-	Size     int64  `json:"size"`
-	Count    int    `json:"count"`
-	Smallest string `json:"smallest"` // hex-free: raw string of key bytes
-	Largest  string `json:"largest"`
+	Name  string `json:"name"`
+	Level int    `json:"level"`
+	Size  int64  `json:"size"`
+	Count int    `json:"count"`
+	// Smallest/Largest are raw key bytes. They must be []byte, not string:
+	// the manifest is JSON, and encoding/json silently rewrites invalid
+	// UTF-8 in strings to U+FFFD, which corrupts binary key bounds on
+	// reload ([]byte round-trips losslessly as base64).
+	Smallest []byte `json:"smallest"`
+	Largest  []byte `json:"largest"`
 	MaxSeq   uint64 `json:"max_seq"`
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"slimstore/internal/container"
 	"slimstore/internal/core"
 	"slimstore/internal/gnode"
 	"slimstore/internal/oss"
@@ -116,9 +117,10 @@ func TestVerifyRestoreCatchesCorruption(t *testing.T) {
 	}
 }
 
-func TestVerifyRestoreOffReturnsCorruptBytes(t *testing.T) {
-	// Control experiment for the test above: without verification the
-	// corruption flows through silently — which is why the flag exists.
+func TestRestoreDetectsCorruptionWithoutVerifyFlag(t *testing.T) {
+	// Even with VerifyRestore off (no per-chunk re-fingerprinting), the
+	// container CRCs must catch bit-rot: corruption never flows through
+	// silently.
 	mem := oss.NewMem()
 	faulty := oss.NewFaulty(mem)
 	cfg := testConfig()
@@ -140,11 +142,59 @@ func TestVerifyRestoreOffReturnsCorruptBytes(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if _, err := n.Restore("f", 0, &buf); err != nil {
+	_, err = n.Restore("f", 0, &buf)
+	if err == nil {
+		t.Fatal("corrupted restore succeeded silently")
+	}
+	if !errors.Is(err, container.ErrCorrupt) {
+		t.Fatalf("restore error = %v, want ErrCorrupt", err)
+	}
+	var ce *container.CorruptError
+	if !errors.As(err, &ce) || ce.Container == container.Invalid {
+		t.Fatalf("error should identify the corrupt container: %v", err)
+	}
+}
+
+func TestRangeRestoreDetectsCorruption(t *testing.T) {
+	// The range path fetches whole containers too, so the same CRC checks
+	// must guard partial restores — a corrupted window fails, never returns
+	// wrong bytes.
+	mem := oss.NewMem()
+	faulty := oss.NewFaulty(mem)
+	cfg := testConfig()
+	cfg.PrefetchThreads = 0
+	repo, err := core.OpenRepo(faulty, cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Equal(buf.Bytes(), data) {
-		t.Fatal("corruption injection had no effect")
+	n := New(repo, "l0")
+	data := genData(55, 2<<20)
+	if _, err := n.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean range restore first, as a control.
+	var buf bytes.Buffer
+	if _, err := n.RestoreRange("f", 0, 512<<10, 64<<10, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data[512<<10:576<<10]) {
+		t.Fatal("clean range restore returned wrong bytes")
+	}
+
+	keys, _ := mem.List("containers/")
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".data") {
+			faulty.CorruptReads(k)
+		}
+	}
+	buf.Reset()
+	_, err = n.RestoreRange("f", 0, 512<<10, 64<<10, &buf)
+	if err == nil {
+		t.Fatal("corrupted range restore succeeded silently")
+	}
+	if !errors.Is(err, container.ErrCorrupt) {
+		t.Fatalf("range restore error = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package oss
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 )
 
@@ -22,6 +23,12 @@ type Faulty struct {
 	putsLeft int             // if >= 0, number of Puts allowed before all fail
 	opCount  int64
 	corrupt  map[string]bool // keys whose reads return flipped bytes
+
+	// Probabilistic modes, driven by an injected deterministic RNG so the
+	// chaos harness and unit tests share one reproducible fault surface.
+	rng         *rand.Rand
+	failRate    float64 // probability a Put/Get/GetRange fails
+	corruptRate float64 // probability a Get/GetRange returns flipped bytes
 }
 
 // NewFaulty wraps inner with no faults armed.
@@ -65,13 +72,51 @@ func (f *Faulty) CorruptReads(key string) {
 	f.mu.Unlock()
 }
 
-// Clear disarms every fault.
+// SetRand injects the RNG that drives the probabilistic modes. Pass a
+// seeded *rand.Rand for reproducible fault schedules; the rates default to
+// a fixed seed otherwise.
+func (f *Faulty) SetRand(r *rand.Rand) {
+	f.mu.Lock()
+	f.rng = r
+	f.mu.Unlock()
+}
+
+// FailRate arms probabilistic failures: each Put/Get/GetRange fails with
+// probability p (0 disarms).
+func (f *Faulty) FailRate(p float64) {
+	f.mu.Lock()
+	f.failRate = p
+	f.mu.Unlock()
+}
+
+// CorruptRate arms probabilistic read corruption: each Get/GetRange
+// returns flipped bytes with probability p (0 disarms).
+func (f *Faulty) CorruptRate(p float64) {
+	f.mu.Lock()
+	f.corruptRate = p
+	f.mu.Unlock()
+}
+
+// roll returns true with probability p. Caller holds f.mu.
+func (f *Faulty) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(1))
+	}
+	return f.rng.Float64() < p
+}
+
+// Clear disarms every fault, including the probabilistic rates.
 func (f *Faulty) Clear() {
 	f.mu.Lock()
 	f.failPuts = make(map[string]bool)
 	f.failGets = make(map[string]bool)
 	f.corrupt = make(map[string]bool)
 	f.putsLeft = -1
+	f.failRate = 0
+	f.corruptRate = 0
 	f.mu.Unlock()
 }
 
@@ -95,6 +140,9 @@ func (f *Faulty) putAllowed(key string) error {
 	if f.putsLeft > 0 {
 		f.putsLeft--
 	}
+	if f.roll(f.failRate) {
+		return fmt.Errorf("%w: put %s (probabilistic)", ErrInjected, key)
+	}
 	return nil
 }
 
@@ -105,7 +153,10 @@ func (f *Faulty) getCheck(key string) (corrupt bool, err error) {
 	if f.failGets[key] {
 		return false, fmt.Errorf("%w: get %s", ErrInjected, key)
 	}
-	return f.corrupt[key], nil
+	if f.roll(f.failRate) {
+		return false, fmt.Errorf("%w: get %s (probabilistic)", ErrInjected, key)
+	}
+	return f.corrupt[key] || f.roll(f.corruptRate), nil
 }
 
 // Put implements Store.

@@ -1,6 +1,7 @@
 package oss
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,20 @@ import (
 	"strconv"
 	"strings"
 )
+
+// StatusError is an HTTP response the client treats as an error. Retry's
+// default classifier consults the code: 4xx (except 429) is permanent,
+// 5xx transient.
+type StatusError struct {
+	Op   string
+	Key  string
+	Code int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("oss: %s %s: status %d %s", e.Op, e.Key, e.Code, http.StatusText(e.Code))
+}
 
 // Server exposes a Store over an S3-like HTTP dialect:
 //
@@ -21,19 +36,33 @@ import (
 // It is the substrate for multi-process deployments and for the ossserver
 // binary; in-process experiments use Mem directly.
 type Server struct {
-	store Store
-	mux   *http.ServeMux
+	store    Store
+	mux      *http.ServeMux
+	maxBytes int64
 }
+
+// DefaultMaxObjectBytes bounds PUT bodies. Containers are a few MiB;
+// 256 MiB leaves headroom for recipe and index objects while keeping a
+// misbehaving client from exhausting server memory.
+const DefaultMaxObjectBytes = 256 << 20
 
 // NewServer wraps store in an HTTP handler.
 func NewServer(store Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), maxBytes: DefaultMaxObjectBytes}
 	s.mux.HandleFunc("/o/", s.handleObject)
 	s.mux.HandleFunc("/list", s.handleList)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// SetMaxObjectBytes overrides the PUT body limit (n <= 0 keeps the
+// default).
+func (s *Server) SetMaxObjectBytes(n int64) {
+	if n > 0 {
+		s.maxBytes = n
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -47,8 +76,19 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodPut:
-		body, err := io.ReadAll(r.Body)
+		if r.ContentLength > s.maxBytes {
+			http.Error(w, fmt.Sprintf("object exceeds %d byte limit", s.maxBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBytes))
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				http.Error(w, fmt.Sprintf("object exceeds %d byte limit", s.maxBytes),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -170,7 +210,7 @@ func (c *Client) Put(key string, data []byte) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("oss: put %s: status %s", key, resp.Status)
+		return &StatusError{Op: "put", Key: key, Code: resp.StatusCode}
 	}
 	return nil
 }
@@ -186,7 +226,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("oss: get %s: status %s", key, resp.Status)
+		return nil, &StatusError{Op: "get", Key: key, Code: resp.StatusCode}
 	}
 	return io.ReadAll(resp.Body)
 }
@@ -211,7 +251,7 @@ func (c *Client) GetRange(key string, off, n int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	if resp.StatusCode != http.StatusPartialContent && resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("oss: get range %s: status %s", key, resp.Status)
+		return nil, &StatusError{Op: "get range", Key: key, Code: resp.StatusCode}
 	}
 	return io.ReadAll(resp.Body)
 }
@@ -227,7 +267,7 @@ func (c *Client) Head(key string) (int64, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("oss: head %s: status %s", key, resp.Status)
+		return 0, &StatusError{Op: "head", Key: key, Code: resp.StatusCode}
 	}
 	return resp.ContentLength, nil
 }
@@ -244,7 +284,7 @@ func (c *Client) Delete(key string) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("oss: delete %s: status %s", key, resp.Status)
+		return &StatusError{Op: "delete", Key: key, Code: resp.StatusCode}
 	}
 	return nil
 }
@@ -257,7 +297,7 @@ func (c *Client) List(prefix string) ([]string, error) {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("oss: list %q: status %s", prefix, resp.Status)
+		return nil, &StatusError{Op: "list", Key: prefix, Code: resp.StatusCode}
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"reflect"
 	"sync"
@@ -313,4 +314,88 @@ func TestPrefixedIsolation(t *testing.T) {
 	}
 	// The full Store contract holds under a prefix.
 	storeUnderTest(t, NewPrefixed(NewMem(), "x"))
+}
+
+func TestHTTPOversizePutRejected(t *testing.T) {
+	backend := NewMem()
+	handler := NewServer(backend)
+	handler.SetMaxObjectBytes(1024)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+
+	if err := c.Put("small", make([]byte, 1024)); err != nil {
+		t.Fatalf("at-limit put rejected: %v", err)
+	}
+	err := c.Put("big", make([]byte, 1025))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 413 {
+		t.Fatalf("oversize put = %v, want StatusError 413", err)
+	}
+	// The classifier must treat 413 as permanent: no retry budget burned.
+	if IsTransient(err) {
+		t.Fatal("413 classified as transient")
+	}
+	if _, err := backend.Get("big"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("oversize object stored anyway")
+	}
+}
+
+func TestFaultyProbabilisticModes(t *testing.T) {
+	mem := NewMem()
+	mem.Put("k", bytes.Repeat([]byte("x"), 64))
+
+	// Deterministic: same seed, same fault schedule.
+	outcomes := func(seed int64) []bool {
+		f := NewFaulty(mem)
+		f.SetRand(rand.New(rand.NewSource(seed)))
+		f.FailRate(0.3)
+		var out []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.Get("k")
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	fails := 0
+	for _, ok := range a {
+		if !ok {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("FailRate(0.3) over %d ops produced %d failures", len(a), fails)
+	}
+
+	// CorruptRate flips bytes on some reads without erroring.
+	f := NewFaulty(mem)
+	f.SetRand(rand.New(rand.NewSource(7)))
+	f.CorruptRate(0.5)
+	want, _ := mem.Get("k")
+	corrupted := 0
+	for i := 0; i < 40; i++ {
+		got, err := f.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 || corrupted == 40 {
+		t.Fatalf("CorruptRate(0.5) corrupted %d/40 reads", corrupted)
+	}
+
+	// Clear disarms the rates.
+	f.Clear()
+	for i := 0; i < 20; i++ {
+		got, err := f.Get("k")
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatal("faults survived Clear")
+		}
+	}
 }

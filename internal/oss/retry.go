@@ -3,12 +3,19 @@ package oss
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 )
 
-// Retry wraps a Store with bounded retries and exponential backoff for
-// transient failures — production resilience for the HTTP backend, whose
-// requests can fail on network blips. Not-found errors never retry.
+// DefaultMaxBackoff caps the exponential backoff delay so long retry
+// chains degrade to steady polling instead of unbounded sleeps.
+const DefaultMaxBackoff = 10 * time.Second
+
+// Retry wraps a Store with bounded retries and capped, fully-jittered
+// exponential backoff for transient failures — production resilience for
+// the HTTP backend, whose requests can fail on network blips. Permanent
+// errors (not-found, HTTP 4xx) never retry; 5xx and network errors do.
 //
 // The sleeper is injectable so tests (and the virtual-time harness) avoid
 // real sleeping.
@@ -16,15 +23,21 @@ type Retry struct {
 	inner    Store
 	attempts int
 	base     time.Duration
+	maxDelay time.Duration
 	sleep    func(time.Duration)
 
-	// IsTransient classifies retryable errors; the default retries
-	// everything except ErrNotFound.
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// IsTransient classifies retryable errors; the default treats
+	// ErrNotFound and HTTP client errors (4xx except 429) as permanent and
+	// retries everything else (5xx, network failures).
 	IsTransient func(error) bool
 }
 
 // NewRetry wraps inner with `attempts` total tries (minimum 1) and
-// exponential backoff starting at base. sleep may be nil for time.Sleep.
+// exponential backoff starting at base, capped at DefaultMaxBackoff.
+// sleep may be nil for time.Sleep.
 func NewRetry(inner Store, attempts int, base time.Duration, sleep func(time.Duration)) *Retry {
 	if attempts < 1 {
 		attempts = 1
@@ -36,14 +49,53 @@ func NewRetry(inner Store, attempts int, base time.Duration, sleep func(time.Dur
 		sleep = time.Sleep
 	}
 	return &Retry{
-		inner:    inner,
-		attempts: attempts,
-		base:     base,
-		sleep:    sleep,
-		IsTransient: func(err error) bool {
-			return !errors.Is(err, ErrNotFound)
-		},
+		inner:       inner,
+		attempts:    attempts,
+		base:        base,
+		maxDelay:    DefaultMaxBackoff,
+		sleep:       sleep,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		IsTransient: IsTransient,
 	}
+}
+
+// SetMaxBackoff overrides the backoff cap.
+func (r *Retry) SetMaxBackoff(d time.Duration) {
+	if d > 0 {
+		r.maxDelay = d
+	}
+}
+
+// SetRand injects a deterministic jitter source (tests).
+func (r *Retry) SetRand(rng *rand.Rand) {
+	r.mu.Lock()
+	r.rng = rng
+	r.mu.Unlock()
+}
+
+// IsTransient is the default error classifier: not-found and HTTP 4xx
+// responses (except 429 Too Many Requests) are permanent — retrying a bad
+// request only repeats it — while 5xx and network-level errors retry.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500 || se.Code == 429
+	}
+	return true
+}
+
+// jitter picks a uniform delay in [0, d] — "full jitter", which spreads
+// concurrent retriers instead of synchronising them into waves.
+func (r *Retry) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(r.rng.Int63n(int64(d) + 1))
 }
 
 // do runs op with retries.
@@ -55,13 +107,16 @@ func (r *Retry) do(what string, op func() error) error {
 			return nil
 		}
 		if !r.IsTransient(err) {
-			return err // permanent (e.g. not found): caller sees it as-is
+			return err // permanent (e.g. not found, 4xx): caller sees it as-is
 		}
 		if i == r.attempts-1 {
 			break
 		}
-		r.sleep(delay)
+		r.sleep(r.jitter(delay))
 		delay *= 2
+		if delay > r.maxDelay {
+			delay = r.maxDelay
+		}
 	}
 	return fmt.Errorf("oss: %s failed after %d attempts: %w", what, r.attempts, err)
 }

@@ -2,6 +2,7 @@ package oss
 
 import (
 	"errors"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -33,14 +34,86 @@ func TestRetryRecoversTransient(t *testing.T) {
 	var slept []time.Duration
 	r := NewRetry(&flaky{Store: mem, failures: 2}, 4, 10*time.Millisecond,
 		func(d time.Duration) { slept = append(slept, d) })
+	r.SetRand(rand.New(rand.NewSource(7)))
 	got, err := r.Get("k")
 	if err != nil || string(got) != "v" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
-	// Two failures → two sleeps with exponential backoff.
-	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+	// Two failures → two sleeps, each fully jittered within the
+	// exponential envelope.
+	if len(slept) != 2 {
 		t.Fatalf("sleeps = %v", slept)
 	}
+	if slept[0] > 10*time.Millisecond || slept[1] > 20*time.Millisecond {
+		t.Fatalf("sleeps exceed backoff envelope: %v", slept)
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	mem := NewMem()
+	var slept []time.Duration
+	r := NewRetry(&flaky{Store: mem, failures: 100}, 10, 100*time.Millisecond,
+		func(d time.Duration) { slept = append(slept, d) })
+	r.SetMaxBackoff(300 * time.Millisecond)
+	r.SetRand(rand.New(rand.NewSource(7)))
+	r.Put("k", []byte("v")) // exhausts
+	if len(slept) != 9 {
+		t.Fatalf("slept %d times, want 9", len(slept))
+	}
+	for i, d := range slept {
+		if d > 300*time.Millisecond {
+			t.Fatalf("sleep %d = %v exceeds the cap", i, d)
+		}
+	}
+}
+
+func TestRetryClassifiesHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err       error
+		transient bool
+	}{
+		{&StatusError{Op: "put", Key: "k", Code: 500}, true},
+		{&StatusError{Op: "put", Key: "k", Code: 503}, true},
+		{&StatusError{Op: "put", Key: "k", Code: 429}, true},
+		{&StatusError{Op: "put", Key: "k", Code: 400}, false},
+		{&StatusError{Op: "put", Key: "k", Code: 403}, false},
+		{&StatusError{Op: "put", Key: "k", Code: 413}, false},
+		{ErrNotFound, false},
+		{errors.New("connection reset"), true},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.transient {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.transient)
+		}
+	}
+}
+
+// A 4xx from the server must surface immediately instead of burning the
+// retry budget.
+func TestRetryDoesNotRetryPermanentStatus(t *testing.T) {
+	calls := 0
+	bad := &storeFunc{inner: NewMem(), onGet: func() { calls++ }}
+	r := NewRetry(&statusFailing{Store: bad, code: 403}, 5, time.Millisecond, func(time.Duration) {})
+	_, err := r.Get("k")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 403 {
+		t.Fatalf("err = %v, want StatusError 403", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent status retried %d times", calls)
+	}
+}
+
+// statusFailing responds to every Get with an HTTP status error after
+// delegating the call count.
+type statusFailing struct {
+	Store
+	code int
+}
+
+func (s *statusFailing) Get(key string) ([]byte, error) {
+	s.Store.Get(key)
+	return nil, &StatusError{Op: "get", Key: key, Code: s.code}
 }
 
 func TestRetryExhausts(t *testing.T) {

@@ -52,6 +52,8 @@ type (
 	GCStats = gnode.GCStats
 	// AuditStats reports a full mark-and-sweep audit.
 	AuditStats = gnode.AuditStats
+	// ScrubStats reports an integrity scrub/repair pass.
+	ScrubStats = gnode.ScrubStats
 	// ObjectStore is the storage-layer abstraction (see OpenStore).
 	ObjectStore = oss.Store
 )
@@ -272,6 +274,19 @@ func (s *System) DeleteVersion(fileID string, version int) (*GCStats, error) {
 // Audit runs a full mark-and-sweep pass, reclaiming any container not
 // reachable from a live recipe.
 func (s *System) Audit() (*AuditStats, error) { return s.g.FullSweep() }
+
+// Scrub verifies every container against its checksums, repairs corrupt
+// chunks that have an intact copy elsewhere, salvages what it can from
+// damaged containers, and quarantines the rest. See gnode.ScrubStats for
+// what it reports.
+func (s *System) Scrub() (*ScrubStats, error) { return s.g.Scrub() }
+
+// QueueScrub hands a scrub to the background G-node worker, behind any
+// pending optimisation jobs. DrainOptimize waits for it.
+func (s *System) QueueScrub() error {
+	s.maint.Start()
+	return s.maint.EnqueueScrub()
+}
 
 // Snapshot groups the file versions captured by one backup session.
 type Snapshot = recipe.Snapshot
