@@ -21,9 +21,9 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	iofs "io/fs"
 	"os"
 	"path/filepath"
@@ -164,6 +164,8 @@ func main() {
 	case "snapshot":
 		dir := fs.String("dir", "", "directory to back up")
 		id := fs.String("id", "", "snapshot ID (e.g. a timestamp)")
+		lnodes := fs.Int("lnodes", 4, "L-node pool size")
+		jobsN := fs.Int("jobs", 0, "concurrent backup jobs (0 = L-node count)")
 		fs.Parse(args)
 		if *dir == "" || *id == "" {
 			fatalf("snapshot: -dir and -id are required")
@@ -194,7 +196,8 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		snap, err := sys.BackupSnapshot(*id, files, 4)
+		sys.ScaleLNodes(*lnodes)
+		snap, err := sys.BackupSnapshot(*id, files, *jobsN)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -203,6 +206,7 @@ func main() {
 	case "restore-snapshot":
 		id := fs.String("id", "", "snapshot ID")
 		outDir := fs.String("out", "", "output directory")
+		lnodes := fs.Int("lnodes", 4, "L-node pool size (restore jobs run across them)")
 		fs.Parse(args)
 		if *id == "" || *outDir == "" {
 			fatalf("restore-snapshot: -id and -out are required")
@@ -211,22 +215,38 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		var open []io.Closer
-		err = sys.RestoreSnapshot(*id, func(fileID string) (io.Writer, error) {
-			p := filepath.Join(*outDir, filepath.FromSlash(fileID))
+		snap, err := sys.SnapshotInfo(*id)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// One restore job per member, concurrent across the L-node pool.
+		eng := sys.NewEngine(slimstore.EngineOptions{LNodes: *lnodes})
+		var files []*os.File
+		var restores []slimstore.Job
+		for _, m := range snap.Members {
+			p := filepath.Join(*outDir, filepath.FromSlash(m.FileID))
 			if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-				return nil, err
+				fatalf("%v", err)
 			}
 			f, err := os.Create(p)
 			if err != nil {
-				return nil, err
+				fatalf("%v", err)
 			}
-			open = append(open, f)
-			return f, nil
-		})
-		for _, c := range open {
-			if cerr := c.Close(); cerr != nil && err == nil {
+			files = append(files, f)
+			restores = append(restores, slimstore.Job{
+				Kind: slimstore.JobRestore, FileID: m.FileID, Version: m.Version, Out: f,
+			})
+		}
+		results := eng.Run(context.Background(), restores)
+		eng.Close()
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
 				err = cerr
+			}
+		}
+		for _, r := range results {
+			if r.Err != nil && err == nil {
+				err = fmt.Errorf("%s v%d: %w", r.Job.FileID, r.Job.Version, r.Err)
 			}
 		}
 		if err != nil {
@@ -255,6 +275,7 @@ func main() {
 	case "verify":
 		name := fs.String("name", "", "backup name")
 		version := fs.Int("version", -1, "version to verify (-1 = all)")
+		jobsN := fs.Int("jobs", 4, "concurrent verify jobs")
 		fs.Parse(args)
 		if *name == "" {
 			fatalf("verify: -name is required")
@@ -272,12 +293,20 @@ func main() {
 				fatalf("%v", err)
 			}
 		}
+		eng := sys.NewEngine(slimstore.EngineOptions{LNodes: *jobsN})
+		var verifies []slimstore.Job
 		for _, v := range versions {
-			st, err := sys.Verify(*name, v)
-			if err != nil {
-				fatalf("verify %q v%d: %v", *name, v, err)
+			verifies = append(verifies, slimstore.Job{
+				Kind: slimstore.JobVerify, FileID: *name, Version: v,
+			})
+		}
+		results := eng.Run(context.Background(), verifies)
+		eng.Close()
+		for _, r := range results {
+			if r.Err != nil {
+				fatalf("verify %q v%d: %v", r.Job.FileID, r.Job.Version, r.Err)
 			}
-			fmt.Printf("verified %q version %d: %d bytes intact\n", *name, v, st.Bytes)
+			fmt.Printf("verified %q version %d: %d bytes intact\n", r.Job.FileID, r.Job.Version, r.Restore.Bytes)
 		}
 
 	case "gc":

@@ -1,0 +1,139 @@
+package chunker
+
+import (
+	"bytes"
+	"testing"
+
+	"slimstore/internal/simclock"
+)
+
+// fuzzCutterNames selects the algorithm under fuzz; every registered
+// cutter shares the partition invariants.
+var fuzzCutterNames = []string{"fixed", "gear", "fastcdc", "rabin", "buzhash"}
+
+func fuzzCutter(t *testing.T, cutterSel, avgSel uint8) Cutter {
+	name := fuzzCutterNames[int(cutterSel)%len(fuzzCutterNames)]
+	avg := 64 << (int(avgSel) % 8) // 64 B .. 8 KiB target average
+	c, err := New(name, ParamsForAvg(avg))
+	if err != nil {
+		t.Fatalf("New(%q, avg %d): %v", name, avg, err)
+	}
+	return c
+}
+
+// FuzzPartition checks the CDC partition invariants for arbitrary inputs:
+// full coverage in order, no empty chunks, min/max bounds (the final chunk
+// may undershoot min), and determinism across repeated runs.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte("hello, slimstore"), uint8(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0}, 4096), uint8(2), uint8(3))
+	f.Add([]byte{}, uint8(4), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, cutterSel, avgSel uint8) {
+		c := fuzzCutter(t, cutterSel, avgSel)
+		p := c.Params()
+		chunks := SplitAll(data, c)
+
+		var pos int64
+		for i, ch := range chunks {
+			if ch.Offset != pos {
+				t.Fatalf("%s: chunk %d at offset %d, want %d", c.Name(), i, ch.Offset, pos)
+			}
+			if ch.Size() == 0 {
+				t.Fatalf("%s: chunk %d empty", c.Name(), i)
+			}
+			if ch.Size() > p.Max {
+				t.Fatalf("%s: chunk %d size %d > max %d", c.Name(), i, ch.Size(), p.Max)
+			}
+			if i < len(chunks)-1 && ch.Size() < p.Min {
+				t.Fatalf("%s: chunk %d size %d < min %d", c.Name(), i, ch.Size(), p.Min)
+			}
+			if !bytes.Equal(ch.Data, data[ch.Offset:ch.Offset+int64(ch.Size())]) {
+				t.Fatalf("%s: chunk %d data does not match its claimed range", c.Name(), i)
+			}
+			pos += int64(ch.Size())
+		}
+		if pos != int64(len(data)) {
+			t.Fatalf("%s: chunks cover %d bytes, want %d", c.Name(), pos, len(data))
+		}
+
+		again := SplitAll(data, c)
+		if len(again) != len(chunks) {
+			t.Fatalf("%s: non-deterministic: %d vs %d chunks", c.Name(), len(again), len(chunks))
+		}
+		for i := range again {
+			if again[i].Offset != chunks[i].Offset || again[i].Size() != chunks[i].Size() {
+				t.Fatalf("%s: non-deterministic boundary at chunk %d", c.Name(), i)
+			}
+		}
+	})
+}
+
+// FuzzStreamSkip drives Stream through arbitrary interleavings of Next,
+// SkipCut, and Rewind — the exact boundary machinery history-aware skip
+// chunking leans on — checking the position model and that every emitted
+// chunk matches its claimed byte range.
+func FuzzStreamSkip(f *testing.F) {
+	f.Add([]byte("abcdefghijklmnopqrstuvwxyz0123456789"), []byte{0, 1, 2, 0, 1}, uint8(1), uint8(2))
+	f.Add(bytes.Repeat([]byte{7}, 2048), []byte{1, 1, 2, 2, 0}, uint8(3), uint8(4))
+	f.Fuzz(func(t *testing.T, data, ops []byte, cutterSel, avgSel uint8) {
+		c := fuzzCutter(t, cutterSel, avgSel)
+		s := NewStream(data, c, nil, simclock.Costs{})
+		pos := 0
+		check := func(ch Chunk, via string) {
+			if ch.Offset != int64(pos) {
+				t.Fatalf("%s: chunk at offset %d, model position %d", via, ch.Offset, pos)
+			}
+			if !bytes.Equal(ch.Data, data[ch.Offset:ch.Offset+int64(ch.Size())]) {
+				t.Fatalf("%s: chunk data does not match its claimed range", via)
+			}
+			pos += ch.Size()
+		}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // CDC cut
+				ch, ok := s.Next()
+				if !ok {
+					if pos != len(data) {
+						t.Fatalf("Next exhausted at position %d of %d", pos, len(data))
+					}
+					continue
+				}
+				if ch.Size() == 0 {
+					t.Fatal("Next returned an empty chunk")
+				}
+				check(ch, "Next")
+			case 1: // positioned skip cut
+				n := int(op)%257 + 1
+				ch, ok := s.SkipCut(n)
+				if ok != (pos+n <= len(data)) {
+					t.Fatalf("SkipCut(%d) at %d/%d: ok=%v", n, pos, len(data), ok)
+				}
+				if !ok {
+					continue
+				}
+				if ch.Size() != n {
+					t.Fatalf("SkipCut(%d) returned %d bytes", n, ch.Size())
+				}
+				check(ch, "SkipCut")
+			case 2: // failed-skip rewind
+				back := int(op) % (pos + 1)
+				s.Rewind(int64(pos - back))
+				pos -= back
+			}
+			if s.Pos() != pos {
+				t.Fatalf("stream position %d, model %d", s.Pos(), pos)
+			}
+		}
+		// Drain: the stream must finish covering the input exactly.
+		for {
+			ch, ok := s.Next()
+			if !ok {
+				break
+			}
+			check(ch, "drain")
+		}
+		if pos != len(data) {
+			t.Fatalf("drained to %d of %d bytes", pos, len(data))
+		}
+	})
+}

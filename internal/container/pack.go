@@ -1,0 +1,61 @@
+package container
+
+import "sync"
+
+// PackPool is the pack stage of the backup pipeline: filled containers
+// are handed to background workers that seal (checksum + encode) and
+// upload them, while the dedup loop keeps cutting and deduplicating.
+// This overlaps the two expensive tails of a backup — CRC32C/encoding CPU
+// and OSS PUT latency — with the hot loop, the way the paper's multipart
+// upload overlaps network with computation (§IV-A, Fig 2).
+//
+// Errors are sticky: the first failed write is remembered and returned by
+// Close; later writes still drain (they may succeed — each container is
+// an independent object) so the queue can never wedge.
+type PackPool struct {
+	jobs chan *Container
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPackPool starts `workers` sealers writing through store. workers < 1
+// is treated as 1. The queue is bounded at 2×workers filled containers,
+// which also bounds the pipeline's extra memory (capacity × depth).
+func NewPackPool(store *Store, workers int) *PackPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &PackPool{jobs: make(chan *Container, 2*workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for c := range p.jobs {
+				if err := store.Write(c); err != nil {
+					p.mu.Lock()
+					if p.err == nil {
+						p.err = err
+					}
+					p.mu.Unlock()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Write enqueues a filled container. The caller must not touch c again.
+// Blocks when the queue is full (backpressure on the dedup loop).
+func (p *PackPool) Write(c *Container) { p.jobs <- c }
+
+// Close waits for every queued container to be written and returns the
+// first write error. The pool is not reusable afterwards.
+func (p *PackPool) Close() error {
+	close(p.jobs)
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

@@ -346,22 +346,42 @@ func (s *Store) cacheMeta(m *Meta) {
 
 // ---------------------------------------------------------------------------
 
-// Builder accumulates chunks into a container until it is full. Builders
-// are not safe for concurrent use; each backup job owns one.
+// Builder accumulates chunks into a container until it is full. It is
+// safe for concurrent use: Add/Flush hold an internal mutex, and a filled
+// container is sealed atomically — it is detached from the builder under
+// the lock before any worker sees it, so no chunk can land in a container
+// that is already being encoded. Each backup job typically owns one
+// builder; with a sink (see NewBuilderAsync) filled containers are handed
+// to a PackPool instead of being written inline.
 type Builder struct {
 	store *Store
+	mu    sync.Mutex
 	cur   *Container
+	sink  func(*Container) error // nil writes synchronously through store
 }
 
 // NewBuilder returns a builder writing through the given store.
 func NewBuilder(store *Store) *Builder { return &Builder{store: store} }
 
+// NewBuilderAsync returns a builder that hands filled containers to pool
+// instead of writing them inline. The caller must Close the pool (after a
+// final Flush) to wait for outstanding writes and collect errors.
+func NewBuilderAsync(store *Store, pool *PackPool) *Builder {
+	return &Builder{store: store, sink: func(c *Container) error { pool.Write(c); return nil }}
+}
+
 // Pending reports whether an unflushed container holds data.
-func (b *Builder) Pending() bool { return b.cur != nil && len(b.cur.Data) > 0 }
+func (b *Builder) Pending() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cur != nil && len(b.cur.Data) > 0
+}
 
 // CurrentID returns the ID the next Add will write into, allocating a
 // container if none is open.
 func (b *Builder) CurrentID() ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.ensure()
 	return b.cur.Meta.ID
 }
@@ -378,9 +398,11 @@ func (b *Builder) ensure() {
 // Add appends a chunk, flushing first if it would overflow the capacity.
 // It returns the container ID the chunk was stored in.
 func (b *Builder) Add(fp fingerprint.FP, data []byte) (ID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.ensure()
 	if len(b.cur.Data)+len(data) > b.store.shared.capacity && len(b.cur.Data) > 0 {
-		if err := b.Flush(); err != nil {
+		if err := b.flushLocked(); err != nil {
 			return Invalid, err
 		}
 		b.ensure()
@@ -395,15 +417,23 @@ func (b *Builder) Add(fp fingerprint.FP, data []byte) (ID, error) {
 	return b.cur.Meta.ID, nil
 }
 
-// Flush persists the open container, if any.
+// Flush persists (or hands to the sink) the open container, if any. With
+// a sink, durability is only established once the pool is closed.
 func (b *Builder) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *Builder) flushLocked() error {
 	if b.cur == nil || len(b.cur.Meta.Chunks) == 0 {
 		b.cur = nil
 		return nil
 	}
-	if err := b.store.Write(b.cur); err != nil {
-		return err
+	c := b.cur
+	b.cur = nil // detach before anything else can see or mutate it
+	if b.sink != nil {
+		return b.sink(c)
 	}
-	b.cur = nil
-	return nil
+	return b.store.Write(c)
 }

@@ -85,6 +85,18 @@ type Config struct {
 	// cost).
 	VerifyRestore bool
 
+	// PackWorkers is the number of background workers sealing and
+	// uploading filled containers while the dedup loop keeps running (the
+	// pack stage of the backup pipeline). 0 selects the default (4);
+	// negative packs synchronously.
+	PackWorkers int
+	// HashWorkers is the worker-pool size for parallelisable
+	// fingerprinting: the base-detection probe pass always uses it, and
+	// the main loop does too when both history-aware accelerations are
+	// off (their skip cuts make boundaries depend on dedup decisions).
+	// 0 selects the default (4); negative hashes inline.
+	HashWorkers int
+
 	// Costs is the virtual-time cost model.
 	Costs simclock.Costs
 }
@@ -111,6 +123,8 @@ func DefaultConfig() Config {
 		LAWChunks:             4096,
 		RestorePolicy:         "fv",
 		PrefetchThreads:       6,
+		PackWorkers:           4,
+		HashWorkers:           4,
 		Costs:                 simclock.DefaultCosts(),
 	}
 }
@@ -159,6 +173,12 @@ func (c *Config) fillDefaults() {
 	if c.RestorePolicy == "" {
 		c.RestorePolicy = d.RestorePolicy
 	}
+	if c.PackWorkers == 0 {
+		c.PackWorkers = d.PackWorkers
+	}
+	if c.HashWorkers == 0 {
+		c.HashWorkers = d.HashWorkers
+	}
 	if c.Costs == (simclock.Costs{}) {
 		c.Costs = d.Costs
 	}
@@ -181,6 +201,13 @@ type Repo struct {
 	// Journal is the intent journal for multi-object reorganisations;
 	// OpenRepo replays surviving records before returning.
 	Journal *journal.Store
+
+	// Files serialises per-file mutations across concurrent jobs
+	// (backup/delete/compaction exclusive, restore shared).
+	Files FileLocks
+	// CLocks is the container reader/writer lock table: restores pin the
+	// containers they read, physical rewrites take the write side.
+	CLocks ContainerLocks
 }
 
 // OpenRepo opens (or initialises) the storage layer on an OSS store.

@@ -311,6 +311,8 @@ func (r *Repo) replayRewrite(rec *journal.Record) error {
 	if int64(len(raw)) != rec.DataLen || container.ChecksumOf(raw) != rec.DataCRC {
 		return nil // new payload never landed: old state intact, roll back
 	}
+	r.CLocks.Lock(id)
+	defer r.CLocks.Unlock(id)
 	return r.Containers.PutRaw(id, nil, rec.Meta)
 }
 
@@ -366,7 +368,12 @@ func (r *Repo) WriteRebuilt(cs *container.Store, nc *container.Container) error 
 	if err != nil {
 		return err
 	}
-	if err := cs.PutRaw(nc.Meta.ID, encData, encMeta); err != nil {
+	// Replacing the data object races in-flight restores that resolved
+	// this container before the rewrite: wait for their read pins.
+	r.CLocks.Lock(nc.Meta.ID)
+	err = cs.PutRaw(nc.Meta.ID, encData, encMeta)
+	r.CLocks.Unlock(nc.Meta.ID)
+	if err != nil {
 		return err
 	}
 	return r.Journal.Remove(key)
@@ -422,7 +429,10 @@ func (r *Repo) DropContainer(cs *container.Store, id container.ID) (int64, int, 
 		}
 	}
 	reclaimed := int64(m.DataSize) + int64(len(container.EncodeMeta(m)))
-	if err := cs.Delete(id); err != nil {
+	r.CLocks.Lock(id)
+	err = cs.Delete(id)
+	r.CLocks.Unlock(id)
+	if err != nil {
 		return 0, 0, err
 	}
 	return reclaimed, removed, nil

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"slimstore/internal/cbf"
 	"slimstore/internal/container"
@@ -31,17 +32,33 @@ type Options struct {
 	BloomFPRate float64
 }
 
-// Index is the global fingerprint index. Safe for concurrent use.
-type Index struct {
-	db *kvstore.DB
+// bloomShards stripes the in-memory bloom filter. Every chunk of every
+// concurrent backup/restore job passes through the filter, so one mutex
+// here would be the system's hottest lock; fingerprints are uniformly
+// distributed, so sharding by the first byte spreads the traffic evenly.
+const bloomShards = 64
 
-	mu    sync.Mutex
+// bloomShard is one stripe of the global bloom filter.
+type bloomShard struct {
+	mu    sync.RWMutex
 	bloom *cbf.Bloom
 	n     int64
+}
+
+// Index is the global fingerprint index. Safe for concurrent use: the
+// bloom filter is sharded by fingerprint prefix (reads take a shard
+// RLock), the stats are atomics, and the LSM store synchronises itself.
+type Index struct {
+	db     *kvstore.DB
+	shards [bloomShards]bloomShard
 
 	// Stats.
-	bloomSkips int64 // lookups answered "unique" by the filter alone
-	lookups    int64
+	bloomSkips atomic.Int64 // lookups answered "unique" by the filter alone
+	lookups    atomic.Int64
+}
+
+func (x *Index) shard(fp fingerprint.FP) *bloomShard {
+	return &x.shards[int(fp[0])%bloomShards]
 }
 
 // Open opens the index over an OSS store, rebuilding the bloom filter from
@@ -60,13 +77,21 @@ func Open(store oss.Store, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("globalindex: %w", err)
 	}
-	x := &Index{db: db, bloom: cbf.NewBloom(opts.BloomCapacity, opts.BloomFPRate)}
+	x := &Index{db: db}
+	per := opts.BloomCapacity / bloomShards
+	if per < 1024 {
+		per = 1024
+	}
+	for i := range x.shards {
+		x.shards[i].bloom = cbf.NewBloom(per, opts.BloomFPRate)
+	}
 	err = db.Scan(nil, nil, func(k, v []byte) bool {
 		if len(k) == fingerprint.Size {
 			var fp fingerprint.FP
 			copy(fp[:], k)
-			x.bloom.Add(fp)
-			x.n++
+			s := x.shard(fp)
+			s.bloom.Add(fp)
+			s.n++
 		}
 		return true
 	})
@@ -83,26 +108,26 @@ func (x *Index) Put(fp fingerprint.FP, id container.ID) error {
 	if err := x.db.Put(fp[:], v[:]); err != nil {
 		return fmt.Errorf("globalindex: put %s: %w", fp.Short(), err)
 	}
-	x.mu.Lock()
-	if !x.bloom.MayContain(fp) {
-		x.n++
+	s := x.shard(fp)
+	s.mu.Lock()
+	if !s.bloom.MayContain(fp) {
+		s.n++
 	}
-	x.bloom.Add(fp)
-	x.mu.Unlock()
+	s.bloom.Add(fp)
+	s.mu.Unlock()
 	return nil
 }
 
 // Get returns the container currently holding fp. The bloom filter answers
 // definite misses without touching the LSM store.
 func (x *Index) Get(fp fingerprint.FP) (container.ID, bool, error) {
-	x.mu.Lock()
-	x.lookups++
-	miss := !x.bloom.MayContain(fp)
+	x.lookups.Add(1)
+	s := x.shard(fp)
+	s.mu.RLock()
+	miss := !s.bloom.MayContain(fp)
+	s.mu.RUnlock()
 	if miss {
-		x.bloomSkips++
-	}
-	x.mu.Unlock()
-	if miss {
+		x.bloomSkips.Add(1)
 		return container.Invalid, false, nil
 	}
 	v, ok, err := x.db.Get(fp[:])
@@ -147,9 +172,13 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (x *Index) Stats() Stats {
-	x.mu.Lock()
-	s := Stats{Entries: x.n, Lookups: x.lookups, BloomSkips: x.bloomSkips}
-	x.mu.Unlock()
+	s := Stats{Lookups: x.lookups.Load(), BloomSkips: x.bloomSkips.Load()}
+	for i := range x.shards {
+		sh := &x.shards[i]
+		sh.mu.RLock()
+		s.Entries += sh.n
+		sh.mu.RUnlock()
+	}
 	s.KV = x.db.Stats()
 	return s
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"slimstore/internal/container"
 	"slimstore/internal/core"
@@ -22,9 +23,20 @@ import (
 )
 
 // GNode runs offline space-management jobs against a shared Repo.
+//
+// maintMu serialises the maintenance entrypoints (reverse dedup, SCC,
+// version collection, full sweep, scrub) against each other — the paper's
+// deployment has exactly one G-node (§III-B), so offline jobs are
+// sequential by design, and serialising them keeps their read-modify-write
+// cycles over container metadata trivially safe. Online L-node traffic is
+// NOT behind this mutex; it synchronises with maintenance through the
+// file and container locks (core.FileLocks / core.ContainerLocks).
+// maintMu is the top of the lock order: it is taken before any file or
+// container lock and never the other way around.
 type GNode struct {
-	repo *core.Repo
-	acct *simclock.Account
+	repo    *core.Repo
+	acct    *simclock.Account
+	maintMu sync.Mutex
 }
 
 // New returns a G-node. Its I/O is charged to an internal account
@@ -62,6 +74,9 @@ type ReverseDedupStats struct {
 // container. Old containers whose stale proportion crosses the configured
 // threshold are physically rewritten.
 func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, error) {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+
 	stats := &ReverseDedupStats{}
 	cs := g.containers()
 	gi := g.repo.Global
@@ -179,6 +194,13 @@ func (g *GNode) CompactSparse(fileID string, version int, sparse []container.ID)
 	if len(sparse) == 0 {
 		return stats, nil
 	}
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+	// SCC rewrites the version's recipe in place; exclusive vs backups and
+	// restores of the file.
+	g.repo.Files.Lock(fileID)
+	defer g.repo.Files.Unlock(fileID)
+
 	cs := g.containers()
 	rs := g.recipes()
 
@@ -324,6 +346,11 @@ type GCStats struct {
 // catalog, so out-of-order deletion degrades to keeping extra data, never
 // to losing referenced data.
 func (g *GNode) DeleteVersion(fileID string, version int) (*GCStats, error) {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+	g.repo.Files.Lock(fileID)
+	defer g.repo.Files.Unlock(fileID)
+
 	stats := &GCStats{}
 	cs := g.containers()
 	rs := g.recipes()
@@ -380,6 +407,13 @@ type AuditStats struct {
 // committed). It is an audit/repair tool; normal operation uses the
 // per-version garbage lists.
 func (g *GNode) FullSweep() (*AuditStats, error) {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+	// Stop the world: a container an in-flight backup has uploaded is
+	// unreachable until its recipe lands, and the sweep would reclaim it.
+	release := g.repo.Files.LockAll()
+	defer release()
+
 	replayed, err := g.repo.ReplayJournal()
 	if err != nil {
 		return nil, fmt.Errorf("gnode: full sweep: %w", err)

@@ -57,6 +57,9 @@ func (s *ScrubStats) Clean() bool { return len(s.Quarantined) == 0 && len(s.Lost
 // subsequent Scrub (or FullSweep) finishes cleaning; in-place rebuilds go
 // through the intent journal.
 func (g *GNode) Scrub() (*ScrubStats, error) {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+
 	stats := &ScrubStats{}
 	replayed, err := g.repo.ReplayJournal()
 	if err != nil {
@@ -95,7 +98,12 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 	builder := container.NewBuilder(cs)
 
 	quarantine := func(id container.ID) error {
-		if err := cs.Quarantine(id); err != nil {
+		// Write side of the container lock: wait out restores that pinned
+		// this container before its damage was known.
+		g.repo.CLocks.Lock(id)
+		err := cs.Quarantine(id)
+		g.repo.CLocks.Unlock(id)
+		if err != nil {
 			return fmt.Errorf("gnode: scrub: %w", err)
 		}
 		quarantined[id] = true
@@ -347,59 +355,76 @@ func (g *GNode) scrubFixRecipes(stats *ScrubStats, quarantined map[container.ID]
 		resolved[fp] = id
 	}
 	for _, f := range files {
-		versions, err := rs.Versions(f)
-		if err != nil {
+		// Exclusive per-file: recipes are rewritten in place and must not
+		// race a backup appending a version or a restore resolving one.
+		g.repo.Files.Lock(f)
+		if err := g.scrubFixFile(stats, f, quarantined, resolved); err != nil {
+			g.repo.Files.Unlock(f)
 			return err
 		}
-		for _, v := range versions {
-			r, err := rs.GetRecipe(f, v)
-			if err != nil {
-				if errors.Is(err, oss.ErrNotFound) {
-					continue
-				}
-				return err
-			}
-			changed := false
-			r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
-				if !quarantined[rec.Container] {
-					return true
-				}
-				nid, ok := resolved[rec.FP]
-				if !ok {
-					if nid, ok = g.intactOwner(rec.FP, quarantined); ok {
-						resolved[rec.FP] = nid
-					}
-				}
-				if ok {
-					rec.Container = nid
-					changed = true
-				}
-				return true
-			})
-			if !changed {
+		g.repo.Files.Unlock(f)
+	}
+	return nil
+}
+
+// scrubFixFile rewrites one file's recipes away from quarantined
+// containers; the caller holds the file's exclusive lock.
+func (g *GNode) scrubFixFile(stats *ScrubStats, f string, quarantined map[container.ID]bool,
+	resolved map[fingerprint.FP]container.ID) error {
+
+	rs := g.recipes()
+	versions, err := rs.Versions(f)
+	if err != nil {
+		return err
+	}
+	for _, v := range versions {
+		r, err := rs.GetRecipe(f, v)
+		if err != nil {
+			if errors.Is(err, oss.ErrNotFound) {
 				continue
 			}
-			if _, err := rs.PutRecipe(r); err != nil {
+			return err
+		}
+		changed := false
+		r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+			if !quarantined[rec.Container] {
+				return true
+			}
+			nid, ok := resolved[rec.FP]
+			if !ok {
+				if nid, ok = g.intactOwner(rec.FP, quarantined); ok {
+					resolved[rec.FP] = nid
+				}
+			}
+			if ok {
+				rec.Container = nid
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			continue
+		}
+		if _, err := rs.PutRecipe(r); err != nil {
+			return err
+		}
+		info, err := rs.GetInfo(f, v)
+		if err == nil {
+			refs := make(map[container.ID]bool)
+			r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+				refs[rec.Container] = true
+				return true
+			})
+			info.Containers = info.Containers[:0]
+			for id := range refs {
+				info.Containers = append(info.Containers, id)
+			}
+			sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
+			if err := rs.PutInfo(info); err != nil {
 				return err
 			}
-			info, err := rs.GetInfo(f, v)
-			if err == nil {
-				refs := make(map[container.ID]bool)
-				r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
-					refs[rec.Container] = true
-					return true
-				})
-				info.Containers = info.Containers[:0]
-				for id := range refs {
-					info.Containers = append(info.Containers, id)
-				}
-				sort.Slice(info.Containers, func(a, b int) bool { return info.Containers[a] < info.Containers[b] })
-				if err := rs.PutInfo(info); err != nil {
-					return err
-				}
-			}
-			stats.RecipesRewritten++
 		}
+		stats.RecipesRewritten++
 	}
 	return nil
 }

@@ -99,6 +99,7 @@ type backupJob struct {
 	recipes    *recipe.Store
 	containers *container.Store
 	builder    *container.Builder
+	pool       *container.PackPool // nil when packing synchronously
 	sampler    fingerprint.Sampler
 
 	// Base file (STEP 1 result).
@@ -135,6 +136,12 @@ func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
 	if fileID == "" {
 		return nil, fmt.Errorf("lnode: empty file ID")
 	}
+	// Exclusive file lock: concurrent backups of the same file would race on
+	// version allocation, and restores must see a complete version chain.
+	// Different files proceed in parallel (striped by file ID).
+	n.repo.Files.Lock(fileID)
+	defer n.repo.Files.Unlock(fileID)
+
 	acct := simclock.NewAccount()
 	cfg := &n.repo.Config
 	j := &backupJob{
@@ -149,7 +156,20 @@ func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
 		fetchedSegs:  make(map[int]*recipe.Segment),
 		data:         data,
 	}
-	j.builder = container.NewBuilder(j.containers)
+	if cfg.PackWorkers > 0 {
+		// Pack stage: filled containers seal and upload on background
+		// workers while the dedup loop continues (§IV-A's overlap of
+		// computation and multipart upload, realised with real threads).
+		j.pool = container.NewPackPool(j.containers, cfg.PackWorkers)
+		j.builder = container.NewBuilderAsync(j.containers, j.pool)
+		defer func() {
+			if j.pool != nil { // error path: drain workers before returning
+				j.pool.Close()
+			}
+		}()
+	} else {
+		j.builder = container.NewBuilder(j.containers)
+	}
 	j.stats.FileID = fileID
 	j.stats.LogicalBytes = int64(len(data))
 	j.stats.Account = acct
@@ -214,14 +234,17 @@ func (j *backupJob) detectBase(fileID string, data []byte) error {
 		head = head[:headBytes]
 	}
 	cutter := j.node.repo.Cutter()
-	var fps []fingerprint.FP
 	stream := chunker.NewStream(head, cutter, nil, j.cfg.Costs) // probe pass: not charged as chunking
+	var chunks []chunker.Chunk
 	for {
 		ch, ok := stream.Next()
 		if !ok {
 			break
 		}
-		fp := fingerprint.Of(j.cfg.FingerprintAlg, ch.Data)
+		chunks = append(chunks, ch)
+	}
+	var fps []fingerprint.FP
+	for _, fp := range hashChunks(j.cfg.FingerprintAlg, chunks, j.cfg.HashWorkers) {
 		if j.sampler.Sample(fp) {
 			fps = append(fps, fp)
 		}
@@ -331,6 +354,12 @@ func (j *backupJob) successor(e *dedupEntry) (dedupEntry, bool) {
 // dedupe implements STEP 2: the main chunk loop with history-aware skip
 // chunking and SuperChunking.
 func (j *backupJob) dedupe() error {
+	// With both history-aware accelerations off, chunk boundaries no longer
+	// depend on dedup decisions, so chunking+fingerprinting can run as a
+	// parallel front stage (pipeline.go).
+	if !j.cfg.SkipChunking && !j.cfg.ChunkMerging && j.cfg.HashWorkers > 0 {
+		return j.dedupePipelined()
+	}
 	cutter := j.node.repo.Cutter()
 	stream := chunker.NewStream(j.data, cutter, j.acct, j.cfg.Costs)
 
@@ -542,6 +571,15 @@ func (j *backupJob) flushPending() error {
 func (j *backupJob) persist(fileID string) error {
 	if err := j.builder.Flush(); err != nil {
 		return fmt.Errorf("lnode: flush containers: %w", err)
+	}
+	if j.pool != nil {
+		// Barrier: every container must be durable before the recipe that
+		// references it lands (and before sparse detection reads metas back).
+		pool := j.pool
+		j.pool = nil
+		if err := pool.Close(); err != nil {
+			return fmt.Errorf("lnode: pack containers: %w", err)
+		}
 	}
 
 	r := &recipe.Recipe{FileID: fileID, Version: j.stats.Version, Segments: j.segments}

@@ -1,0 +1,11 @@
+package lnode
+
+// Hooks for the external engine property test (engine_property_test.go,
+// package lnode_test). That test drives the concurrent job engine, and
+// internal/jobs imports this package, so it has to live in the external
+// test package to avoid an import cycle.
+var (
+	TestConfig = testConfig
+	GenData    = genData
+	Mutate     = mutate
+)

@@ -1,0 +1,110 @@
+package lnode
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"slimstore/internal/chunker"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/simclock"
+)
+
+// This file is the parallel front stage of the backup pipeline:
+// chunk → fingerprint run concurrently, feeding the (inherently serial)
+// dedup-lookup stage, which in turn feeds the async pack stage
+// (container.PackPool). The stage only exists when chunk boundaries are
+// decided by content alone: skip chunking and chunk merging both make the
+// next cut depend on the previous dedup verdict (chunker.Stream.SkipCut /
+// Rewind), which serialises the loop by construction — with them enabled,
+// parallelism comes from the hash pool in base detection and from the pack
+// stage instead.
+//
+// Virtual-time accounting stays deterministic under this parallelism:
+// simclock.Account charges are commutative sums, so the total is
+// independent of worker interleaving, and chunk boundaries, fingerprints,
+// and dedup decisions are computed exactly as in the serial path.
+
+// hashChunks fingerprints chunks with a bounded worker pool, preserving
+// input order. workers <= 1 hashes inline. No simclock charges — callers
+// account for the pass themselves (the probe pass bills OtherPerByte).
+func hashChunks(alg fingerprint.Algorithm, chunks []chunker.Chunk, workers int) []fingerprint.FP {
+	fps := make([]fingerprint.FP, len(chunks))
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for i := range chunks {
+			fps[i] = fingerprint.Of(alg, chunks[i].Data)
+		}
+		return fps
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				fps[i] = fingerprint.Of(alg, chunks[i].Data)
+			}
+		}()
+	}
+	wg.Wait()
+	return fps
+}
+
+// dedupePipelined is STEP 2 with the parallel front stage: cut the whole
+// stream (serial, cheap), fingerprint every chunk across HashWorkers
+// goroutines, then run the dedup lookups in order. Produces bit-identical
+// recipes and identical virtual-time totals to the serial path.
+func (j *backupJob) dedupePipelined() error {
+	cutter := j.node.repo.Cutter()
+	stream := chunker.NewStream(j.data, cutter, j.acct, j.cfg.Costs)
+	var chunks []chunker.Chunk
+	for {
+		ch, ok := stream.Next()
+		if !ok {
+			break
+		}
+		chunks = append(chunks, ch)
+	}
+
+	// Parallel fingerprint stage. The CPU charge is identical to the serial
+	// path's per-chunk Repo.Fingerprint calls; summed here in one shot.
+	per := j.cfg.Costs.SHA1PerByte
+	if j.cfg.FingerprintAlg == fingerprint.SHA256 {
+		per = j.cfg.Costs.SHA256PerByte
+	}
+	var hashedBytes int64
+	for i := range chunks {
+		hashedBytes += int64(chunks[i].Size())
+	}
+	j.acct.ChargeCPUBytes(simclock.PhaseFingerprint, hashedBytes, per)
+	fps := hashChunks(j.cfg.FingerprintAlg, chunks, j.cfg.HashWorkers)
+
+	for i := range chunks {
+		ch, fp := chunks[i], fps[i]
+		j.acct.ChargeCPU(simclock.PhaseIndexQuery, j.cfg.Costs.IndexLookup)
+		e, hit := j.dedupCache[fp]
+		if !hit && j.baseIndex != nil {
+			if segNo, found := j.baseIndex.Samples[fp]; found {
+				if err := j.fetchSegment(int(segNo)); err != nil {
+					return err
+				}
+				e, hit = j.dedupCache[fp]
+			}
+		}
+		if hit {
+			j.emitDuplicate(e, ch)
+			continue
+		}
+		if err := j.emitUnique(fp, ch); err != nil {
+			return err
+		}
+	}
+	return j.flushPending()
+}

@@ -17,6 +17,9 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 	if off < 0 {
 		return nil, fmt.Errorf("lnode: restore range: negative offset %d", off)
 	}
+	n.repo.Files.RLock(fileID)
+	defer n.repo.Files.RUnlock(fileID)
+
 	acct := simclock.NewAccount()
 	cfg := &n.repo.Config
 	recipes := n.repo.RecipesFor(acct)
@@ -35,10 +38,11 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 		end = off + length
 	}
 
-	full, redirects, err := n.resolveSequence(containers, r, acct)
+	full, redirects, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 
 	// Select the chunk window overlapping [off, end) and remember how much
 	// to trim from the first and last chunks.

@@ -43,6 +43,11 @@ func (n *LNode) Verify(fileID string, version int) (*RestoreStats, error) {
 }
 
 func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*RestoreStats, error) {
+	// Shared file lock: the version chain and this version's recipe stay
+	// stable for the duration (backup/delete/compaction of the file wait).
+	n.repo.Files.RLock(fileID)
+	defer n.repo.Files.RUnlock(fileID)
+
 	acct := simclock.NewAccount()
 	cfg := &n.repo.Config
 	recipes := n.repo.RecipesFor(acct)
@@ -58,10 +63,11 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 		Account:         acct,
 	}
 
-	seq, redirects, err := n.resolveSequence(containers, r, acct)
+	seq, redirects, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	stats.Redirects = redirects
 
 	policy, err := cache.New(cfg.RestorePolicy, cache.Config{
@@ -114,6 +120,59 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 		stats.Elapsed = acct.ElapsedSequential()
 	}
 	return stats, nil
+}
+
+// pinSequence resolves the restore sequence and read-pins every container
+// it references, so G-node maintenance cannot rewrite or drop a container
+// between resolution and the reads. Pinning cannot happen before resolving
+// (the container set is the *output* of resolution), so after taking the
+// pins we re-resolve and check the set is unchanged; if maintenance slid in
+// during the window we release, adopt the new set, and retry. Pins are
+// shared read-locks taken in sorted stripe order (core.ContainerLocks.Pin),
+// so concurrent restores never deadlock and rewrites wait, not fail.
+func (n *LNode) pinSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, func(), error) {
+	seq, _, err := n.resolveSequence(containers, r, acct)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	const maxAttempts = 8
+	for attempt := 0; ; attempt++ {
+		release := n.repo.CLocks.Pin(requestContainers(seq))
+		seq2, redirects2, err := n.resolveSequence(containers, r, acct)
+		if err != nil {
+			release()
+			return nil, 0, nil, err
+		}
+		if sameContainers(seq, seq2) {
+			return seq2, redirects2, release, nil
+		}
+		release()
+		if attempt+1 >= maxAttempts {
+			return nil, 0, nil, fmt.Errorf("lnode: restore %s v%d: container set unstable after %d attempts",
+				r.FileID, r.Version, maxAttempts)
+		}
+		seq = seq2
+	}
+}
+
+func requestContainers(seq []cache.Request) []container.ID {
+	ids := make([]container.ID, len(seq))
+	for i, rq := range seq {
+		ids[i] = rq.Container
+	}
+	return ids
+}
+
+func sameContainers(a, b []cache.Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Container != b[i].Container {
+			return false
+		}
+	}
+	return true
 }
 
 // resolveSequence converts a recipe into the restore request sequence,

@@ -1,0 +1,120 @@
+package recipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"slimstore/internal/container"
+)
+
+// randRecipe builds a structurally valid recipe from a seed, exercising
+// every record shape (plain, duplicate-counted, superchunk) and segment
+// layout the encoder supports.
+func randRecipe(seed int64, segments, records int) *Recipe {
+	rng := rand.New(rand.NewSource(seed))
+	segments = segments%8 + 1
+	records = records%64 + 1
+	r := &Recipe{FileID: "fuzz/file", Version: int(uint64(seed) % 1000)}
+	for s := 0; s < segments; s++ {
+		var seg Segment
+		for i := 0; i < records; i++ {
+			var rec ChunkRecord
+			rng.Read(rec.FP[:])
+			rec.Container = container.ID(rng.Int63())
+			rec.Size = uint32(rng.Intn(1 << 20))
+			rec.DuplicateTimes = uint32(rng.Intn(1 << 16))
+			if rng.Intn(4) == 0 {
+				rec.Super = true
+				rng.Read(rec.FirstChunk[:])
+			}
+			seg.Records = append(seg.Records, rec)
+		}
+		r.Segments = append(r.Segments, seg)
+	}
+	return r
+}
+
+func recipesEqual(t *testing.T, a, b *Recipe) {
+	t.Helper()
+	if a.FileID != b.FileID || a.Version != b.Version {
+		t.Fatalf("identity mismatch: %s v%d vs %s v%d", a.FileID, a.Version, b.FileID, b.Version)
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("segment count %d vs %d", len(a.Segments), len(b.Segments))
+	}
+	for s := range a.Segments {
+		ra, rb := a.Segments[s].Records, b.Segments[s].Records
+		if len(ra) != len(rb) {
+			t.Fatalf("segment %d: record count %d vs %d", s, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("segment %d record %d differs:\n  %+v\n  %+v", s, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// FuzzRecipeRoundTrip checks Encode→Decode is the identity for
+// structurally valid recipes of every shape.
+func FuzzRecipeRoundTrip(f *testing.F) {
+	f.Add(int64(1), 1, 1)
+	f.Add(int64(42), 3, 17)
+	f.Add(int64(-7), 7, 63)
+	f.Fuzz(func(t *testing.T, seed int64, segments, records int) {
+		r := randRecipe(seed, segments, records)
+		dec, err := Decode(Encode(r))
+		if err != nil {
+			t.Fatalf("decode of valid encoding: %v", err)
+		}
+		recipesEqual(t, r, dec)
+
+		// Segment-level round trip must agree with the full-recipe path.
+		for s := range r.Segments {
+			seg, err := DecodeSegment(EncodeSegment(&r.Segments[s]))
+			if err != nil {
+				t.Fatalf("segment %d: decode of valid encoding: %v", s, err)
+			}
+			if len(seg.Records) != len(r.Segments[s].Records) {
+				t.Fatalf("segment %d: record count %d vs %d", s, len(seg.Records), len(r.Segments[s].Records))
+			}
+			for i := range seg.Records {
+				if seg.Records[i] != r.Segments[s].Records[i] {
+					t.Fatalf("segment %d record %d differs after round trip", s, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRecipeDecode throws arbitrary bytes at the decoders: they must never
+// panic, and anything they accept must re-encode to something they accept
+// again with identical content (decode is a retraction of encode).
+func FuzzRecipeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(randRecipe(3, 2, 5)))
+	f.Add(EncodeSegment(&randRecipe(4, 1, 9).Segments[0]))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if r, err := Decode(b); err == nil {
+			again, err := Decode(Encode(r))
+			if err != nil {
+				t.Fatalf("re-decode of accepted recipe: %v", err)
+			}
+			recipesEqual(t, r, again)
+		}
+		if seg, err := DecodeSegment(b); err == nil {
+			again, err := DecodeSegment(EncodeSegment(seg))
+			if err != nil {
+				t.Fatalf("re-decode of accepted segment: %v", err)
+			}
+			if len(again.Records) != len(seg.Records) {
+				t.Fatalf("segment record count changed: %d vs %d", len(again.Records), len(seg.Records))
+			}
+			for i := range seg.Records {
+				if seg.Records[i] != again.Records[i] {
+					t.Fatalf("segment record %d changed across round trip", i)
+				}
+			}
+		}
+	})
+}

@@ -192,6 +192,11 @@ func DecodeSegment(b []byte) (*Segment, error) {
 		return nil, fmt.Errorf("recipe: segment too short")
 	}
 	n := int(binary.LittleEndian.Uint32(b))
+	// Every record occupies at least recFixedWire bytes; reject impossible
+	// counts before allocating (a hostile header can claim 4G records).
+	if n > (len(b)-4)/recFixedWire {
+		return nil, fmt.Errorf("recipe: segment claims %d records in %d bytes", n, len(b))
+	}
 	seg := &Segment{}
 	if n > 0 {
 		seg.Records = make([]ChunkRecord, 0, n)
@@ -294,7 +299,8 @@ func Decode(b []byte) (*Recipe, error) {
 		r.Segments = make([]Segment, 0, len(d.segments))
 	}
 	for i, s := range d.segments {
-		if s.off+s.n > uint64(len(b)) {
+		// Checked without s.off+s.n, which can wrap on hostile directories.
+		if s.off > uint64(len(b)) || s.n > uint64(len(b))-s.off {
 			return nil, fmt.Errorf("recipe: segment %d out of range", i)
 		}
 		seg, err := DecodeSegment(b[s.off : s.off+s.n])

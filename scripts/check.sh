@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
-# Full verification gate: build, vet, and the race-enabled test suite.
+# Full verification gate: build, vet, the race-enabled test suite, and a
+# short-budget fuzz smoke over the committed seed corpora plus a few
+# seconds of fresh exploration per target.
 # CI and pre-commit both run this; keep it the single source of truth.
 set -eu
 cd "$(dirname "$0")/.."
@@ -7,3 +9,14 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: seed corpora always run as part of `go test`; the short
+# -fuzz bursts below look for fresh counterexamples without blocking the
+# gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
+FUZZTIME="${FUZZTIME:-5s}"
+if [ "$FUZZTIME" != "0s" ]; then
+	go test -run=NONE -fuzz='^FuzzPartition$' -fuzztime "$FUZZTIME" ./internal/chunker/
+	go test -run=NONE -fuzz='^FuzzStreamSkip$' -fuzztime "$FUZZTIME" ./internal/chunker/
+	go test -run=NONE -fuzz='^FuzzRecipeRoundTrip$' -fuzztime "$FUZZTIME" ./internal/recipe/
+	go test -run=NONE -fuzz='^FuzzRecipeDecode$' -fuzztime "$FUZZTIME" ./internal/recipe/
+fi

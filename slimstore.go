@@ -29,6 +29,7 @@ import (
 	"slimstore/internal/core"
 	"slimstore/internal/globalindex"
 	"slimstore/internal/gnode"
+	"slimstore/internal/jobs"
 	"slimstore/internal/lnode"
 	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
@@ -56,6 +57,27 @@ type (
 	ScrubStats = gnode.ScrubStats
 	// ObjectStore is the storage-layer abstraction (see OpenStore).
 	ObjectStore = oss.Store
+	// Engine is the concurrent multi-job scheduler (see System.NewEngine).
+	Engine = jobs.Engine
+	// EngineOptions tune an Engine (L-node count, queue depth).
+	EngineOptions = jobs.Options
+	// Job is one unit of engine work.
+	Job = jobs.Job
+	// JobResult is one completed engine job.
+	JobResult = jobs.Result
+	// JobKind selects what a Job does.
+	JobKind = jobs.Kind
+)
+
+// Engine job kinds.
+const (
+	JobBackup   = jobs.Backup
+	JobRestore  = jobs.Restore
+	JobVerify   = jobs.Verify
+	JobDelete   = jobs.Delete
+	JobOptimize = jobs.Optimize
+	JobScrub    = jobs.Scrub
+	JobSweep    = jobs.Sweep
 )
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -115,6 +137,14 @@ func NewMemoryStore() ObjectStore { return oss.NewMem() }
 // global index deployed as per-user buckets).
 func NamespacedStore(store ObjectStore, prefix string) ObjectStore {
 	return oss.NewPrefixed(store, prefix)
+}
+
+// NewEngine starts a concurrent job engine over this deployment: a pool
+// of goroutine-hosted L-nodes pulling from a bounded queue, sharing the
+// repository (and its lock protocol) with the System's own L-nodes and
+// G-node. Close the engine when done; the System remains usable.
+func (s *System) NewEngine(opts EngineOptions) *Engine {
+	return jobs.New(s.repo, s.g, opts)
 }
 
 // RestoreRange streams bytes [off, off+length) of a stored version to w
