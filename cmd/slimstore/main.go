@@ -18,6 +18,10 @@
 //	slimstore gc      -repo dir:/backups
 //	slimstore scrub   -repo dir:/backups
 //	slimstore stats   -repo dir:/backups
+//
+// Any subcommand additionally accepts -pprof <path>: a CPU profile of
+// the whole run is written there, for profiling maintenance commands
+// (scrub, gc) against real repositories.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	iofs "io/fs"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"slimstore"
@@ -47,8 +52,53 @@ func openSystem(repo string) (*slimstore.System, error) {
 }
 
 func fatalf(format string, args ...any) {
+	stopProfile()
 	fmt.Fprintf(os.Stderr, "slimstore: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// stopProfile finalises the CPU profile started by -pprof. Both fatalf
+// and the end of main run it, so the profile file is valid on every
+// exit path that got as far as parsing flags.
+var stopProfile = func() {}
+
+// startPProf strips a leading-anywhere -pprof <path> (or -pprof=<path>)
+// from args and starts a CPU profile there. It runs before the
+// per-subcommand flag.Parse so the profile covers repository open and
+// the whole command, not just the tail after parsing.
+func startPProf(args []string) []string {
+	path := ""
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := strings.TrimPrefix(strings.TrimPrefix(args[i], "-"), "-")
+		if a == "pprof" && i+1 < len(args) {
+			path = args[i+1]
+			i++
+			continue
+		}
+		if strings.HasPrefix(a, "pprof=") {
+			path = strings.TrimPrefix(a, "pprof=")
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	if path == "" {
+		return rest
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("pprof: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		fatalf("pprof: %v", err)
+	}
+	stopProfile = func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		stopProfile = func() {}
+	}
+	return rest
 }
 
 func main() {
@@ -56,7 +106,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: slimstore <backup|restore|verify|snapshot|restore-snapshot|snapshots|list|delete|gc|scrub|stats> [flags]")
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := os.Args[1], startPProf(os.Args[2:])
+	defer stopProfile()
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	repo := fs.String("repo", "dir:./slimstore-repo", "repository location")
 

@@ -8,13 +8,16 @@ import (
 	"testing"
 )
 
-// TestMain diverts the scale experiment's BENCH_scale.json artifact (it
-// writes to BENCH_OUT, default: the working directory) so `go test` —
-// which runs every registered experiment — never drops artifacts into
-// the source tree.
+// TestMain diverts the artifact-writing experiments (BENCH_scale.json
+// via BENCH_OUT, BENCH_gmaint.json via BENCH_GMAINT_OUT; both default to
+// the working directory) so `go test` — which runs every registered
+// experiment — never drops artifacts into the source tree.
 func TestMain(m *testing.M) {
 	if os.Getenv("BENCH_OUT") == "" {
 		os.Setenv("BENCH_OUT", filepath.Join(os.TempDir(), "BENCH_scale.json"))
+	}
+	if os.Getenv("BENCH_GMAINT_OUT") == "" {
+		os.Setenv("BENCH_GMAINT_OUT", filepath.Join(os.TempDir(), "BENCH_gmaint.json"))
 	}
 	os.Exit(m.Run())
 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestGMaintRegression is the wall-clock perf gate for parallel G-node
+// maintenance. The injected per-op OSS latency makes the sweep
+// latency-bound, so the speedup assertions hold on any host — including
+// a single core, where goroutines overlap timer sleeps just as parallel
+// request channels overlap network round-trips. The floors are
+// conservative: 4 workers over ~250-op serial passes measure ~3x.
+func TestGMaintRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow bench sweep")
+	}
+	rep, err := RunGMaint([]int{1, 4}, 250*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	one, four := rep.Points[0], rep.Points[1]
+
+	// Parallelism must not change the work: every stats column is
+	// bit-identical across worker counts.
+	if one.ChunksScanned != four.ChunksScanned || one.DupsRemoved != four.DupsRemoved ||
+		one.IndexInserts != four.IndexInserts || one.Rewritten != four.Rewritten ||
+		one.ChunksVerified != four.ChunksVerified || one.ScrubContainers != four.ScrubContainers {
+		t.Fatalf("work diverges between 1 and 4 workers:\n1: %+v\n4: %+v", one, four)
+	}
+	// And the pass must have done substantial work of every kind, or the
+	// timing below measures nothing.
+	if one.DupsRemoved == 0 || one.Rewritten == 0 || one.IndexInserts == 0 || one.ChunksVerified == 0 {
+		t.Fatalf("degenerate dataset: %+v", one)
+	}
+
+	if four.ReverseSpeedup < 2.0 {
+		t.Errorf("reverse dedup speedup at 4 workers = %.2fx (1w %.1fms, 4w %.1fms), want >= 2.0x",
+			four.ReverseSpeedup, one.ReverseWallMS, four.ReverseWallMS)
+	}
+	if four.ScrubSpeedup < 1.3 {
+		t.Errorf("scrub speedup at 4 workers = %.2fx (1w %.1fms, 4w %.1fms), want >= 1.3x",
+			four.ScrubSpeedup, one.ScrubWallMS, four.ScrubWallMS)
+	}
+}

@@ -53,6 +53,13 @@ type Stats struct {
 	DiskSwaps      int   // chunks demoted to the disk layer (FV only)
 	DiskHitBytes   int64 // bytes read back from the disk layer
 	DiskSwapBytes  int64 // bytes written to the disk layer
+
+	// Sequence-resolution costs (filled by the restore path, not the
+	// policies): container-metadata reads issued while converting the
+	// recipe into the request sequence, and how many of the per-record
+	// lookups the per-pass memo answered without touching the store.
+	ResolveMetaReads    int
+	ResolveMetaMemoHits int
 }
 
 // ReadAmplification is containers read per 100 MB of restored data, the

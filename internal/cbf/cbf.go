@@ -12,21 +12,18 @@ import (
 	"slimstore/internal/fingerprint"
 )
 
-// hashes derives k slot indexes for a fingerprint using the Kirsch-
-// Mitzenmacher double-hashing construction over the fingerprint's bytes.
-func hashes(fp fingerprint.FP, k, m int, out []int) []int {
-	h1 := fp.Uint64()
+// hashPair derives the two base hashes of the Kirsch-Mitzenmacher
+// double-hashing construction; slot i is (h1 + i*h2) mod m. Callers
+// compute slots inline rather than through a scratch slice so that the
+// read-only probes (MayContain, Count) stay safe under a shared RLock.
+func hashPair(fp fingerprint.FP) (h1, h2 uint64) {
+	h1 = fp.Uint64()
 	// Second independent hash from the trailing bytes.
-	var h2 uint64
 	for i := 8; i < fingerprint.Size; i++ {
 		h2 = h2*131 + uint64(fp[i])
 	}
 	h2 |= 1 // must be odd so all slots are reachable
-	out = out[:0]
-	for i := 0; i < k; i++ {
-		out = append(out, int((h1+uint64(i)*h2)%uint64(m)))
-	}
-	return out
+	return h1, h2
 }
 
 // params picks the optimal bit count and hash count for n items at the
@@ -54,25 +51,29 @@ func params(n int, fpRate float64) (m, k int) {
 	return m, k
 }
 
-// Bloom is a fixed-size Bloom filter over chunk fingerprints.
+// Bloom is a fixed-size Bloom filter over chunk fingerprints. Add
+// mutates; MayContain is read-only, so any number of concurrent
+// MayContain calls may share the filter with each other (writers still
+// need external exclusion).
 type Bloom struct {
 	bits []uint64
 	m, k int
 	n    int
-	buf  []int
 }
 
 // NewBloom sizes a filter for n expected items at the given false-positive
 // rate (0 < fpRate < 1).
 func NewBloom(n int, fpRate float64) *Bloom {
 	m, k := params(n, fpRate)
-	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k, buf: make([]int, 0, k)}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
 }
 
 // Add inserts fp.
 func (b *Bloom) Add(fp fingerprint.FP) {
-	for _, i := range hashes(fp, b.k, b.m, b.buf) {
-		b.bits[i/64] |= 1 << uint(i%64)
+	h1, h2 := hashPair(fp)
+	for i := 0; i < b.k; i++ {
+		s := int((h1 + uint64(i)*h2) % uint64(b.m))
+		b.bits[s/64] |= 1 << uint(s%64)
 	}
 	b.n++
 }
@@ -80,8 +81,10 @@ func (b *Bloom) Add(fp fingerprint.FP) {
 // MayContain reports whether fp may have been added (false positives
 // possible, false negatives impossible).
 func (b *Bloom) MayContain(fp fingerprint.FP) bool {
-	for _, i := range hashes(fp, b.k, b.m, b.buf) {
-		if b.bits[i/64]&(1<<uint(i%64)) == 0 {
+	h1, h2 := hashPair(fp)
+	for i := 0; i < b.k; i++ {
+		s := int((h1 + uint64(i)*h2) % uint64(b.m))
+		if b.bits[s/64]&(1<<uint(s%64)) == 0 {
 			return false
 		}
 	}
@@ -104,27 +107,29 @@ func (b *Bloom) Reset() {
 
 // Counting is a counting Bloom filter: Add increments k counters, Remove
 // decrements them, and Count lower-bounds by the minimum counter. Counters
-// are 16-bit and saturate rather than overflow.
+// are 16-bit and saturate rather than overflow. Count/MayContain are
+// read-only and safe to share between concurrent readers.
 type Counting struct {
 	counters []uint16
 	m, k     int
 	n        int
-	buf      []int
 }
 
 // NewCounting sizes a counting filter for n expected items at the given
 // false-positive rate.
 func NewCounting(n int, fpRate float64) *Counting {
 	m, k := params(n, fpRate)
-	return &Counting{counters: make([]uint16, m), m: m, k: k, buf: make([]int, 0, k)}
+	return &Counting{counters: make([]uint16, m), m: m, k: k}
 }
 
 // Add increments the counters for fp. Multiple Adds of the same fingerprint
 // accumulate, recording reference counts.
 func (c *Counting) Add(fp fingerprint.FP) {
-	for _, i := range hashes(fp, c.k, c.m, c.buf) {
-		if c.counters[i] != math.MaxUint16 {
-			c.counters[i]++
+	h1, h2 := hashPair(fp)
+	for i := 0; i < c.k; i++ {
+		s := (h1 + uint64(i)*h2) % uint64(c.m)
+		if c.counters[s] != math.MaxUint16 {
+			c.counters[s]++
 		}
 	}
 	c.n++
@@ -134,9 +139,11 @@ func (c *Counting) Add(fp fingerprint.FP) {
 // never added can corrupt other entries, as with any counting Bloom filter;
 // callers must pair Add/Remove.
 func (c *Counting) Remove(fp fingerprint.FP) {
-	for _, i := range hashes(fp, c.k, c.m, c.buf) {
-		if c.counters[i] > 0 && c.counters[i] != math.MaxUint16 {
-			c.counters[i]--
+	h1, h2 := hashPair(fp)
+	for i := 0; i < c.k; i++ {
+		s := (h1 + uint64(i)*h2) % uint64(c.m)
+		if c.counters[s] > 0 && c.counters[s] != math.MaxUint16 {
+			c.counters[s]--
 		}
 	}
 	if c.n > 0 {
@@ -148,9 +155,11 @@ func (c *Counting) Remove(fp fingerprint.FP) {
 // (the minimum of its counters). Zero means definitely absent.
 func (c *Counting) Count(fp fingerprint.FP) int {
 	min := math.MaxUint16 + 1
-	for _, i := range hashes(fp, c.k, c.m, c.buf) {
-		if int(c.counters[i]) < min {
-			min = int(c.counters[i])
+	h1, h2 := hashPair(fp)
+	for i := 0; i < c.k; i++ {
+		s := (h1 + uint64(i)*h2) % uint64(c.m)
+		if int(c.counters[s]) < min {
+			min = int(c.counters[s])
 		}
 	}
 	return min

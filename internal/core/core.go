@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"slimstore/internal/chunker"
 	"slimstore/internal/container"
@@ -96,6 +97,11 @@ type Config struct {
 	// off (their skip cuts make boundaries depend on dedup decisions).
 	// 0 selects the default (4); negative hashes inline.
 	HashWorkers int
+	// MaintWorkers is the fan-out width of G-node offline maintenance
+	// (reverse dedup scans, scrub verification, sweep marking, container
+	// rewrites). 0 selects the default (4); negative runs serially. Any
+	// width produces bit-identical results — it only changes wall-clock.
+	MaintWorkers int
 
 	// Costs is the virtual-time cost model.
 	Costs simclock.Costs
@@ -125,6 +131,7 @@ func DefaultConfig() Config {
 		PrefetchThreads:       6,
 		PackWorkers:           4,
 		HashWorkers:           4,
+		MaintWorkers:          4,
 		Costs:                 simclock.DefaultCosts(),
 	}
 }
@@ -179,6 +186,9 @@ func (c *Config) fillDefaults() {
 	if c.HashWorkers == 0 {
 		c.HashWorkers = d.HashWorkers
 	}
+	if c.MaintWorkers == 0 {
+		c.MaintWorkers = d.MaintWorkers
+	}
 	if c.Costs == (simclock.Costs{}) {
 		c.Costs = d.Costs
 	}
@@ -208,7 +218,22 @@ type Repo struct {
 	// CLocks is the container reader/writer lock table: restores pin the
 	// containers they read, physical rewrites take the write side.
 	CLocks ContainerLocks
+
+	// maintEpoch counts committed maintenance mutations (rewrites, drops,
+	// compactions, GC, reverse-dedup/scrub commits). Backups never bump
+	// it. G-node's parallel passes scan and probe OUTSIDE maintMu at a
+	// sampled epoch, then validate it under the lock: unchanged means no
+	// maintenance invalidated the scan, so the pass commits; changed means
+	// retry. See DESIGN.md §8.
+	maintEpoch atomic.Uint64
 }
+
+// MaintEpoch samples the maintenance epoch (see the field comment).
+func (r *Repo) MaintEpoch() uint64 { return r.maintEpoch.Load() }
+
+// BumpMaintEpoch marks a committed maintenance mutation, invalidating any
+// optimistic scan concurrently in flight.
+func (r *Repo) BumpMaintEpoch() { r.maintEpoch.Add(1) }
 
 // OpenRepo opens (or initialises) the storage layer on an OSS store.
 func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {

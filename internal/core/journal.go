@@ -161,6 +161,7 @@ func (r *Repo) ApplySCC(rec *journal.Record, cs *container.Store, rs *recipe.Sto
 			}
 		}
 	}
+	r.BumpMaintEpoch()
 	return r.Global.Flush()
 }
 
@@ -313,6 +314,7 @@ func (r *Repo) replayRewrite(rec *journal.Record) error {
 	}
 	r.CLocks.Lock(id)
 	defer r.CLocks.Unlock(id)
+	r.BumpMaintEpoch()
 	return r.Containers.PutRaw(id, nil, rec.Meta)
 }
 
@@ -376,6 +378,7 @@ func (r *Repo) WriteRebuilt(cs *container.Store, nc *container.Container) error 
 	if err != nil {
 		return err
 	}
+	r.BumpMaintEpoch()
 	return r.Journal.Remove(key)
 }
 
@@ -435,5 +438,6 @@ func (r *Repo) DropContainer(cs *container.Store, id container.ID) (int64, int, 
 	if err != nil {
 		return 0, 0, err
 	}
+	r.BumpMaintEpoch()
 	return reclaimed, removed, nil
 }

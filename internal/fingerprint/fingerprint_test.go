@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -135,5 +136,24 @@ func TestQuickFingerprint(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkFingerprint measures chunk hashing at the two deployed sizes:
+// the 4 KiB average chunk and a 64 KiB superchunk.
+func BenchmarkFingerprint(b *testing.B) {
+	for _, alg := range []Algorithm{SHA1, SHA256} {
+		for _, size := range []int{4 << 10, 64 << 10} {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			b.Run(fmt.Sprintf("%s/%dKiB", alg, size>>10), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					Of(alg, data)
+				}
+			})
+		}
 	}
 }

@@ -11,6 +11,7 @@ package globalindex
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -138,6 +139,114 @@ func (x *Index) Get(fp fingerprint.FP) (container.ID, bool, error) {
 		return container.Invalid, false, nil
 	}
 	return container.ID(binary.LittleEndian.Uint64(v)), true, nil
+}
+
+// Entry is one batched index mutation: fp is (now) stored in container ID.
+type Entry struct {
+	FP fingerprint.FP
+	ID container.ID
+}
+
+// PutBatch records a set of fingerprint→container mappings in one
+// group-committed kvstore batch: one WAL record, one lock acquisition.
+// The sharded blooms stay coherent with the serial path — each bloom
+// shard is locked once, and the distinct-entry estimate n counts exactly
+// the fingerprints a loop of Puts would have counted. Entries applied in
+// slice order, so a batch writing the same fingerprint twice resolves
+// like the equivalent loop (last write wins).
+func (x *Index) PutBatch(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	var b kvstore.Batch
+	var v [8]byte
+	for i := range entries {
+		binary.LittleEndian.PutUint64(v[:], uint64(entries[i].ID))
+		b.Put(entries[i].FP[:], v[:])
+	}
+	if err := x.db.Apply(&b); err != nil {
+		return fmt.Errorf("globalindex: put batch of %d: %w", len(entries), err)
+	}
+	// Group bloom updates per shard so each stripe is locked once.
+	var byShard [bloomShards][]fingerprint.FP
+	for i := range entries {
+		si := int(entries[i].FP[0]) % bloomShards
+		byShard[si] = append(byShard[si], entries[i].FP)
+	}
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		s := &x.shards[si]
+		s.mu.Lock()
+		for _, fp := range byShard[si] {
+			if !s.bloom.MayContain(fp) {
+				s.n++
+			}
+			s.bloom.Add(fp)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// GetBatch resolves many fingerprints in one pass: bloom probes grouped
+// per shard (one RLock each), then a single kvstore GetMulti for the
+// bloom-positive survivors. Results are parallel slices; found[i] is
+// false for unknown fingerprints. bloomSkips reports how many of THESE
+// lookups the filter answered alone — callers tracking per-pass filter
+// effectiveness (G-node stats) need the local count, not a delta of the
+// global counter, which concurrent jobs also advance.
+func (x *Index) GetBatch(fps []fingerprint.FP) (ids []container.ID, found []bool, bloomSkips int, err error) {
+	ids = make([]container.ID, len(fps))
+	found = make([]bool, len(fps))
+	if len(fps) == 0 {
+		return ids, found, 0, nil
+	}
+	x.lookups.Add(int64(len(fps)))
+
+	var byShard [bloomShards][]int
+	for i := range fps {
+		si := int(fps[i][0]) % bloomShards
+		byShard[si] = append(byShard[si], i)
+	}
+	survivors := make([]int, 0, len(fps))
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		s := &x.shards[si]
+		s.mu.RLock()
+		for _, i := range byShard[si] {
+			if s.bloom.MayContain(fps[i]) {
+				survivors = append(survivors, i)
+			} else {
+				bloomSkips++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	x.bloomSkips.Add(int64(bloomSkips))
+	if len(survivors) == 0 {
+		return ids, found, bloomSkips, nil
+	}
+	sort.Ints(survivors) // deterministic probe order regardless of sharding
+
+	keys := make([][]byte, len(survivors))
+	for j, i := range survivors {
+		keys[j] = fps[i][:]
+	}
+	values, hit, err := x.db.GetMulti(keys)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("globalindex: get batch of %d: %w", len(fps), err)
+	}
+	for j, i := range survivors {
+		if hit[j] && len(values[j]) == 8 {
+			ids[i] = container.ID(binary.LittleEndian.Uint64(values[j]))
+			found[i] = true
+		}
+	}
+	return ids, found, bloomSkips, nil
 }
 
 // Delete removes fp (its chunk no longer exists in any container). The

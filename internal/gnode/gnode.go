@@ -16,6 +16,7 @@ import (
 	"slimstore/internal/container"
 	"slimstore/internal/core"
 	"slimstore/internal/fingerprint"
+	"slimstore/internal/globalindex"
 	"slimstore/internal/journal"
 	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
@@ -24,15 +25,19 @@ import (
 
 // GNode runs offline space-management jobs against a shared Repo.
 //
-// maintMu serialises the maintenance entrypoints (reverse dedup, SCC,
-// version collection, full sweep, scrub) against each other — the paper's
-// deployment has exactly one G-node (§III-B), so offline jobs are
-// sequential by design, and serialising them keeps their read-modify-write
-// cycles over container metadata trivially safe. Online L-node traffic is
-// NOT behind this mutex; it synchronises with maintenance through the
-// file and container locks (core.FileLocks / core.ContainerLocks).
-// maintMu is the top of the lock order: it is taken before any file or
-// container lock and never the other way around.
+// maintMu serialises the decide/commit step of every maintenance job
+// (reverse dedup, SCC, version collection, full sweep, scrub) — the
+// paper's deployment has exactly one G-node (§III-B), so offline commits
+// are sequential by design, and serialising them keeps their
+// read-modify-write cycles over container metadata trivially safe. The
+// read-heavy phases (container scans, index probes, scrub verification)
+// run OUTSIDE the mutex across a bounded worker pool, validated by the
+// repo's maintenance epoch before their results are committed
+// (DESIGN.md §8). Online L-node traffic is NOT behind this mutex; it
+// synchronises with maintenance through the file and container locks
+// (core.FileLocks / core.ContainerLocks). maintMu remains the top of the
+// lock order: it is taken before any file or container lock and never
+// the other way around.
 type GNode struct {
 	repo    *core.Repo
 	acct    *simclock.Account
@@ -73,103 +78,323 @@ type ReverseDedupStats struct {
 // the new version's layout) and the global index is repointed at the new
 // container. Old containers whose stale proportion crosses the configured
 // threshold are physically rewritten.
+//
+// The pass is a fan-out/fan-in pipeline (DESIGN.md §8): container scans,
+// index probes, and old-home prefetches run OUTSIDE maintMu across the
+// maintenance worker pool at a sampled maintenance epoch; the
+// decide/commit step then takes maintMu, validates the epoch, and merges
+// the probe results deterministically (sorted container order, chunk
+// order within) into one group-committed index batch. Physical rewrites
+// run after the commit, outside maintMu, under the container stripe
+// locks. Results are bit-identical at any worker width.
 func (g *GNode) ReverseDedup(newContainers []container.ID) (*ReverseDedupStats, error) {
-	g.maintMu.Lock()
-	defer g.maintMu.Unlock()
-
-	stats := &ReverseDedupStats{}
+	// Canonicalise the work list: the decide phase follows sorted unique
+	// container order, so the outcome is independent of list order and of
+	// how the scan fan-out interleaves.
+	ids := append([]container.ID(nil), newContainers...)
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	ids = uniqueIDs(ids)
 	cs := g.containers()
-	gi := g.repo.Global
 
-	dirtyMeta := make(map[container.ID]*container.Meta)
-	before := gi.Stats().BloomSkips
+	// Bounded optimism: scan and probe without the lock, then validate
+	// that no maintenance commit invalidated what we read. Under a storm
+	// of concurrent maintenance, fall back to scanning under the lock.
+	const maxOptimistic = 3
+	for attempt := 0; ; attempt++ {
+		locked := attempt >= maxOptimistic
+		if locked {
+			g.maintMu.Lock()
+		}
+		epoch := g.repo.MaintEpoch()
+		prep, err := g.rdPrepare(cs, ids)
+		if err != nil {
+			if locked {
+				g.maintMu.Unlock()
+			}
+			return nil, fmt.Errorf("gnode: reverse dedup: %w", err)
+		}
+		if !locked {
+			g.maintMu.Lock()
+			if g.repo.MaintEpoch() != epoch {
+				g.maintMu.Unlock()
+				continue // a maintenance commit raced the scan; redo it
+			}
+		}
+		stats, rewrites, err := g.rdCommit(cs, ids, prep)
+		g.maintMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.rdRewrite(cs, stats, rewrites); err != nil {
+			return nil, err
+		}
+		return stats, nil
+	}
+}
 
-	for _, id := range newContainers {
-		m, err := cs.ReadMeta(id)
+// rdPrep carries the read-only phase of a reverse-dedup pass: container
+// scans, batched index probe results, and prefetched old-home metadata.
+type rdPrep struct {
+	scans   []*container.Meta // per ids[i]; nil → container gone (advisory list)
+	scanned map[container.ID]*container.Meta
+
+	probeFPs []fingerprint.FP // unique live fingerprints, first-encounter order
+	probeID  map[fingerprint.FP]container.ID
+	skips    int
+
+	olds   map[container.ID]*container.Meta // old homes the decide phase may mark
+	oldErr map[container.ID]error
+}
+
+// rdPrepare runs every read of a reverse-dedup pass across the worker
+// pool: parallel meta scans of the new containers, one batched global
+// index probe over the unique live fingerprints, then parallel meta
+// prefetches of the old homes those probes point at.
+func (g *GNode) rdPrepare(cs *container.Store, ids []container.ID) (*rdPrep, error) {
+	p := &rdPrep{
+		scans:   make([]*container.Meta, len(ids)),
+		scanned: make(map[container.ID]*container.Meta, len(ids)),
+	}
+	err := g.forEach(len(ids), func(i int) error {
+		m, err := cs.ReadMeta(ids[i])
 		if err != nil {
 			// The list is advisory (captured at backup time); a container
 			// scrub-quarantined or swept since then simply has nothing left
 			// to deduplicate.
 			if errors.Is(err, oss.ErrNotFound) {
-				continue
+				return nil
 			}
-			return nil, fmt.Errorf("gnode: reverse dedup: %w", err)
+			return err
+		}
+		p.scans[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		if p.scans[i] != nil {
+			p.scanned[id] = p.scans[i]
+		}
+	}
+
+	// One probe per distinct live fingerprint; in-pass duplicates are
+	// resolved by the decide phase's overlay, exactly as the serial loop's
+	// later Gets would observe its earlier Puts.
+	seen := make(map[fingerprint.FP]bool)
+	for _, m := range p.scans {
+		if m == nil {
+			continue
+		}
+		for i := range m.Chunks {
+			if cm := &m.Chunks[i]; !cm.Deleted && !seen[cm.FP] {
+				seen[cm.FP] = true
+				p.probeFPs = append(p.probeFPs, cm.FP)
+			}
+		}
+	}
+	gids, found, skips, err := g.repo.Global.GetBatch(p.probeFPs)
+	if err != nil {
+		return nil, err
+	}
+	p.skips = skips
+	p.probeID = make(map[fingerprint.FP]container.ID)
+	for i, fp := range p.probeFPs {
+		if found[i] {
+			p.probeID[fp] = gids[i]
+		}
+	}
+
+	// Prefetch the metadata of old homes outside the lock; the decide
+	// phase only copies them. Errors are recorded, not raised — a probe
+	// hit may be stale, and staleness is the epoch check's call to make.
+	var oldIDs []container.ID
+	seenOld := make(map[container.ID]bool)
+	for _, fp := range p.probeFPs {
+		oid, ok := p.probeID[fp]
+		if !ok || seenOld[oid] {
+			continue
+		}
+		seenOld[oid] = true
+		if _, isNew := p.scanned[oid]; !isNew {
+			oldIDs = append(oldIDs, oid)
+		}
+	}
+	p.olds = make(map[container.ID]*container.Meta, len(oldIDs))
+	p.oldErr = make(map[container.ID]error)
+	var mu sync.Mutex
+	err = g.forEach(len(oldIDs), func(i int) error {
+		m, err := cs.ReadMeta(oldIDs[i])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			p.oldErr[oldIDs[i]] = err
+		} else {
+			p.olds[oldIDs[i]] = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// rdCommit is the single-threaded decide/commit step, run under maintMu
+// over a validated prepare: it replays the serial algorithm over the
+// batched probe results (an overlay map supplies Get-sees-own-Puts
+// semantics), group-commits the index mutations, flushes them durable,
+// persists the metadata marks, and bumps the maintenance epoch. It
+// returns the metas whose stale proportion now warrants a rewrite; the
+// rewrites themselves run after maintMu is released.
+func (g *GNode) rdCommit(cs *container.Store, ids []container.ID, p *rdPrep) (*ReverseDedupStats, []*container.Meta, error) {
+	stats := &ReverseDedupStats{BloomSkips: int64(p.skips)}
+	gi := g.repo.Global
+
+	dirty := make(map[container.ID]*container.Meta)
+	getDirty := func(id container.ID) (*container.Meta, error) {
+		if m := dirty[id]; m != nil {
+			return m, nil
+		}
+		src := p.scanned[id]
+		if src == nil {
+			if err := p.oldErr[id]; err != nil {
+				return nil, err
+			}
+			src = p.olds[id]
+		}
+		if src == nil {
+			// Not prefetched (a probe target surfaced by the overlay);
+			// read it here, under the lock.
+			m, err := cs.ReadMeta(id)
+			if err != nil {
+				return nil, err
+			}
+			src = m
+		}
+		cp := *src
+		cp.Chunks = append([]container.ChunkMeta(nil), src.Chunks...)
+		dirty[id] = &cp
+		return &cp, nil
+	}
+
+	// overlay carries this pass's own repoints so later chunks observe
+	// earlier decisions, exactly like the serial loop's index writes.
+	overlay := make(map[fingerprint.FP]container.ID)
+	var batch []globalindex.Entry
+	for i, id := range ids {
+		m := p.scans[i]
+		if m == nil {
+			continue
 		}
 		stats.ContainersScanned++
-		for i := range m.Chunks {
-			cm := &m.Chunks[i]
+		for j := range m.Chunks {
+			cm := &m.Chunks[j]
 			if cm.Deleted {
 				continue
 			}
 			stats.ChunksScanned++
-			oldID, found, err := gi.Get(cm.FP)
-			if err != nil {
-				return nil, err
+			oldID, found := overlay[cm.FP]
+			if !found {
+				oldID, found = p.probeID[cm.FP]
 			}
 			switch {
 			case !found:
 				// First copy anywhere: register it.
-				if err := gi.Put(cm.FP, id); err != nil {
-					return nil, err
-				}
+				batch = append(batch, globalindex.Entry{FP: cm.FP, ID: id})
+				overlay[cm.FP] = id
 				stats.IndexInserts++
 			case oldID == id:
 				// Already registered to this container (idempotent rerun).
 			default:
 				// Exact duplicate. Reverse rule: delete the OLD copy, keep
 				// the new version's layout intact.
-				om := dirtyMeta[oldID]
-				if om == nil {
-					om, err = cs.ReadMeta(oldID)
-					if err != nil {
-						return nil, err
-					}
-					cp := *om
-					cp.Chunks = append([]container.ChunkMeta(nil), om.Chunks...)
-					om = &cp
-					dirtyMeta[oldID] = om
+				om, err := getDirty(oldID)
+				if err != nil {
+					return nil, nil, err
 				}
 				if ocm := om.Find(cm.FP); ocm != nil && !ocm.Deleted {
 					ocm.Deleted = true
 					stats.DuplicatesRemoved++
 					stats.BytesDeduplicated += int64(ocm.Size)
 				}
-				if err := gi.Put(cm.FP, id); err != nil {
-					return nil, err
-				}
+				batch = append(batch, globalindex.Entry{FP: cm.FP, ID: id})
+				overlay[cm.FP] = id
 			}
 		}
 	}
-	stats.BloomSkips = gi.Stats().BloomSkips - before
 
-	// Make the repoints durable before any physical rewrite: a rewrite
-	// destroys the old copies, and if a crash lost the buffered index
-	// mutations, restores redirecting through the index would dangle.
+	if err := gi.PutBatch(batch); err != nil {
+		return nil, nil, err
+	}
+	// Make the repoints durable before any metadata mark or physical
+	// rewrite: a rewrite destroys the old copies, and if a crash lost the
+	// buffered index mutations, restores redirecting through the index
+	// would dangle.
 	if err := gi.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	// Persist metadata marks; rewrite containers past the threshold.
-	ids := make([]container.ID, 0, len(dirtyMeta))
-	for id := range dirtyMeta {
-		ids = append(ids, id)
+	// Persist metadata marks (fan-out: distinct containers, no ordering
+	// dependency between them).
+	dids := make([]container.ID, 0, len(dirty))
+	for id := range dirty {
+		dids = append(dids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	for _, id := range ids {
-		m := dirtyMeta[id]
-		if err := cs.WriteMeta(m); err != nil {
-			return nil, err
+	sort.Slice(dids, func(a, b int) bool { return dids[a] < dids[b] })
+	if err := g.forEach(len(dids), func(i int) error {
+		return cs.WriteMeta(dirty[dids[i]])
+	}); err != nil {
+		return nil, nil, err
+	}
+	if len(batch) > 0 || len(dids) > 0 {
+		g.repo.BumpMaintEpoch()
+	}
+
+	var rewrites []*container.Meta
+	for _, id := range dids {
+		if m := dirty[id]; m.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
+			rewrites = append(rewrites, m)
 		}
-		if m.StaleProportion() > g.repo.Config.RewriteStaleThreshold {
-			freed, err := g.repo.RewriteContainer(cs, m)
-			if err != nil {
-				return nil, err
+	}
+	return stats, rewrites, nil
+}
+
+// rdRewrite physically compacts the containers the commit step marked
+// past the stale threshold. It runs outside maintMu — each rewrite is
+// individually journaled and serialised by its container stripe lock, so
+// concurrent maintenance stays correct; a container swept concurrently
+// just loses its compaction opportunity (tolerated NotFound).
+func (g *GNode) rdRewrite(cs *container.Store, stats *ReverseDedupStats, rewrites []*container.Meta) error {
+	if len(rewrites) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	return g.forEach(len(rewrites), func(i int) error {
+		freed, err := g.repo.RewriteContainer(cs, rewrites[i])
+		if err != nil {
+			if errors.Is(err, oss.ErrNotFound) {
+				return nil
 			}
-			stats.ContainersRewritten++
-			stats.BytesReclaimed += freed
+			return err
+		}
+		mu.Lock()
+		stats.ContainersRewritten++
+		stats.BytesReclaimed += freed
+		mu.Unlock()
+		return nil
+	})
+}
+
+// uniqueIDs collapses adjacent duplicates in a sorted ID slice.
+func uniqueIDs(ids []container.ID) []container.ID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
 		}
 	}
-	return stats, nil
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -420,64 +645,102 @@ func (g *GNode) FullSweep() (*AuditStats, error) {
 	}
 	cs := g.containers()
 	rs := g.recipes()
-	marked := make(map[container.ID]bool)
 
 	files, err := rs.Files()
 	if err != nil {
 		return nil, err
 	}
+	type fv struct {
+		file    string
+		version int
+	}
+	var work []fv
 	for _, f := range files {
 		versions, err := rs.Versions(f)
 		if err != nil {
 			return nil, err
 		}
 		for _, v := range versions {
-			r, err := rs.GetRecipe(f, v)
-			if err != nil {
-				return nil, err
+			work = append(work, fv{f, v})
+		}
+	}
+
+	// Mark phase, fanned out per version: each worker walks one recipe,
+	// marking home containers directly and batching the global-index
+	// redirect lookups for chunks whose home no longer holds them. The
+	// world is stopped (LockAll above), so the walks are pure reads; the
+	// union of the per-version mark sets is order-independent.
+	var (
+		markMu sync.Mutex
+		marked = make(map[container.ID]bool)
+	)
+	err = g.forEach(len(work), func(wi int) error {
+		r, err := rs.GetRecipe(work[wi].file, work[wi].version)
+		if err != nil {
+			return err
+		}
+		local := make(map[container.ID]bool)
+		var misses []fingerprint.FP
+		r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
+			m, err := cs.ReadMeta(rec.Container)
+			if err == nil {
+				if cm := m.Find(rec.FP); cm != nil && !cm.Deleted {
+					local[rec.Container] = true
+					return true
+				}
 			}
-			var iterErr error
-			r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
-				id := rec.Container
-				m, err := cs.ReadMeta(id)
-				if err == nil {
-					if cm := m.Find(rec.FP); cm != nil && !cm.Deleted {
-						marked[id] = true
-						return true
-					}
-				}
-				// Redirected chunk: mark the relocation target.
-				nid, ok, err := g.repo.Global.Get(rec.FP)
-				if err != nil {
-					iterErr = err
-					return false
-				}
-				if ok {
-					marked[nid] = true
-				}
-				return true
-			})
-			if iterErr != nil {
-				return nil, iterErr
+			misses = append(misses, rec.FP)
+			return true
+		})
+		// Redirected chunks: mark the relocation targets in one probe.
+		nids, found, _, err := g.repo.Global.GetBatch(misses)
+		if err != nil {
+			return err
+		}
+		for i := range misses {
+			if found[i] {
+				local[nids[i]] = true
 			}
 		}
+		markMu.Lock()
+		for id := range local {
+			marked[id] = true
+		}
+		markMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	all, err := cs.List()
 	if err != nil {
 		return nil, err
 	}
-	stats := &AuditStats{ContainersMarked: len(marked), JournalReplayed: replayed}
+	var unmarked []container.ID
 	for _, id := range all {
-		if marked[id] {
-			continue
+		if !marked[id] {
+			unmarked = append(unmarked, id)
 		}
-		reclaimed, _, err := g.repo.DropContainer(cs, id)
+	}
+	stats := &AuditStats{ContainersMarked: len(marked), JournalReplayed: replayed}
+	// Sweep phase, fanned out per container: drops touch disjoint
+	// containers, and each index entry is deleted only by the drop whose
+	// container it names, so concurrent drops never interfere.
+	var sweepMu sync.Mutex
+	err = g.forEach(len(unmarked), func(i int) error {
+		reclaimed, _, err := g.repo.DropContainer(cs, unmarked[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		sweepMu.Lock()
 		stats.ContainersSwept++
 		stats.BytesReclaimed += reclaimed
+		sweepMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return stats, nil
 }

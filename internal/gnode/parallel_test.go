@@ -1,0 +1,233 @@
+package gnode
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"slimstore/internal/container"
+	"slimstore/internal/core"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/lnode"
+	"slimstore/internal/oss"
+)
+
+// twin is one of two identically seeded repos maintained at different
+// worker widths.
+type twin struct {
+	ln   *lnode.LNode
+	gn   *GNode
+	repo *core.Repo
+	mem  *oss.Mem
+	new  []container.ID
+}
+
+// buildTwin seeds a repo with cross-file duplicate backups the L-node is
+// forced to miss, so reverse dedup has marks, repoints, and rewrites to
+// do. Deterministic: every twin holds byte-identical state.
+func buildTwin(t *testing.T, workers int) *twin {
+	t.Helper()
+	cfg := testConfig()
+	cfg.SimilarityMinScore = 1.1 // force the L-node to miss cross-file dups
+	cfg.MaintWorkers = workers
+	ln, gn, repo, mem := setup(t, cfg)
+
+	shared := genData(5, 1<<20)
+	other := genData(6, 512<<10)
+	mixed := append(append([]byte(nil), other...), shared[:512<<10]...)
+
+	tw := &twin{ln: ln, gn: gn, repo: repo, mem: mem}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{"a", shared}, {"b", mixed}, {"c", shared}} {
+		st, err := ln.Backup(f.name, f.data)
+		if err != nil {
+			t.Fatalf("backup %s: %v", f.name, err)
+		}
+		tw.new = append(tw.new, st.NewContainers...)
+	}
+	return tw
+}
+
+// indexDump snapshots the global index.
+func indexDump(t *testing.T, repo *core.Repo) map[fingerprint.FP]container.ID {
+	t.Helper()
+	m := map[fingerprint.FP]container.ID{}
+	if err := repo.Global.Scan(func(fp fingerprint.FP, id container.ID) bool {
+		m[fp] = id
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// metaDump serialises every container's metadata in ID order.
+func metaDump(t *testing.T, repo *core.Repo) string {
+	t.Helper()
+	ids, err := repo.Containers.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var buf bytes.Buffer
+	for _, id := range ids {
+		m, err := repo.Containers.ReadMeta(id)
+		if err != nil {
+			t.Fatalf("meta %s: %v", id, err)
+		}
+		fmt.Fprintf(&buf, "%s size=%d\n", id, m.DataSize)
+		for i := range m.Chunks {
+			cm := &m.Chunks[i]
+			fmt.Fprintf(&buf, "  %s off=%d size=%d deleted=%v\n", cm.FP.Short(), cm.Offset, cm.Size, cm.Deleted)
+		}
+	}
+	return buf.String()
+}
+
+func assertTwinsEqual(t *testing.T, serial, parallel *twin, files []string) {
+	t.Helper()
+	si, pi := indexDump(t, serial.repo), indexDump(t, parallel.repo)
+	if !reflect.DeepEqual(si, pi) {
+		t.Errorf("global index diverges: serial %d entries, parallel %d", len(si), len(pi))
+	}
+	sm, pm := metaDump(t, serial.repo), metaDump(t, parallel.repo)
+	if sm != pm {
+		t.Errorf("container metadata diverges:\n--- serial ---\n%s--- parallel ---\n%s", sm, pm)
+	}
+	for _, f := range files {
+		sb := restoreBytes(t, serial.ln, f, 0)
+		pb := restoreBytes(t, parallel.ln, f, 0)
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("file %s restores diverge", f)
+		}
+	}
+}
+
+// TestReverseDedupParallelMatchesSerial is the determinism contract of
+// the fan-out pipeline: any MaintWorkers width must produce bit-identical
+// stats, index state, container metadata, and restored bytes.
+func TestReverseDedupParallelMatchesSerial(t *testing.T) {
+	serial := buildTwin(t, -1) // negative → strictly serial pool
+	parallel := buildTwin(t, 8)
+
+	ss, err := serial.gn.ReverseDedup(serial.new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.gn.ReverseDedup(parallel.new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("stats diverge:\nserial:   %+v\nparallel: %+v", ss, ps)
+	}
+	if ss.DuplicatesRemoved == 0 || ss.ContainersRewritten == 0 {
+		t.Fatalf("degenerate workload, nothing deduplicated: %+v", ss)
+	}
+	assertTwinsEqual(t, serial, parallel, []string{"a", "b", "c"})
+
+	// Idempotence holds for the parallel pass too.
+	again, err := parallel.gn.ReverseDedup(parallel.new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.DuplicatesRemoved != 0 || again.IndexInserts != 0 {
+		t.Errorf("parallel rerun not idempotent: %+v", again)
+	}
+}
+
+// TestScrubParallelMatchesSerial corrupts both twins identically —
+// donor-repairable rot and an unrepairable loss — and requires the
+// parallel scrub to reach exactly the serial verdicts and final state.
+func TestScrubParallelMatchesSerial(t *testing.T) {
+	serial := buildTwin(t, -1)
+	parallel := buildTwin(t, 8)
+
+	for _, tw := range []*twin{serial, parallel} {
+		if _, err := tw.gn.ReverseDedup(tw.new); err != nil {
+			t.Fatal(err)
+		}
+		all, err := tw.repo.Containers.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		var ids []container.ID // containers that still hold live chunks
+		for _, id := range all {
+			m, err := tw.repo.Containers.ReadMeta(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range m.Chunks {
+				if !m.Chunks[i].Deleted {
+					ids = append(ids, id)
+					break
+				}
+			}
+		}
+		if len(ids) < 2 {
+			t.Fatalf("only %d containers with live chunks", len(ids))
+		}
+		// Corrupt a live chunk in the first and last such container; the
+		// scrub decides repair vs quarantine vs loss identically on both
+		// twins because the damaged bytes are identical.
+		flipChunkAtRest(t, tw.mem, tw.repo, ids[0], firstLiveChunk(t, tw.repo, ids[0]))
+		flipChunkAtRest(t, tw.mem, tw.repo, ids[len(ids)-1], firstLiveChunk(t, tw.repo, ids[len(ids)-1]))
+	}
+
+	ss, err := serial.gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("scrub stats diverge:\nserial:   %+v\nparallel: %+v", ss, ps)
+	}
+	if ss.CorruptChunks == 0 {
+		t.Fatalf("corruption not detected: %+v", ss)
+	}
+
+	si, pi := indexDump(t, serial.repo), indexDump(t, parallel.repo)
+	if !reflect.DeepEqual(si, pi) {
+		t.Errorf("global index diverges after scrub: serial %d entries, parallel %d", len(si), len(pi))
+	}
+	sm, pm := metaDump(t, serial.repo), metaDump(t, parallel.repo)
+	if sm != pm {
+		t.Errorf("container metadata diverges after scrub:\n--- serial ---\n%s--- parallel ---\n%s", sm, pm)
+	}
+}
+
+// TestFullSweepParallelMatchesSerial deletes a version on both twins and
+// audits: the parallel mark/sweep must keep exactly the serial survivors.
+func TestFullSweepParallelMatchesSerial(t *testing.T) {
+	serial := buildTwin(t, -1)
+	parallel := buildTwin(t, 8)
+
+	for _, tw := range []*twin{serial, parallel} {
+		if _, err := tw.gn.ReverseDedup(tw.new); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.gn.DeleteVersion("c", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := serial.gn.FullSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.gn.FullSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("sweep stats diverge:\nserial:   %+v\nparallel: %+v", ss, ps)
+	}
+	assertTwinsEqual(t, serial, parallel, []string{"a", "b"})
+}

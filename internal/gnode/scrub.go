@@ -7,6 +7,7 @@ import (
 
 	"slimstore/internal/container"
 	"slimstore/internal/fingerprint"
+	"slimstore/internal/globalindex"
 	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
 )
@@ -56,42 +57,152 @@ func (s *ScrubStats) Clean() bool { return len(s.Quarantined) == 0 && len(s.Lost
 // rewritten. Scrub is re-runnable: a crash mid-scrub leaves state a
 // subsequent Scrub (or FullSweep) finishes cleaning; in-place rebuilds go
 // through the intent journal.
+//
+// The expensive part — reading and checksumming every payload — fans out
+// across the maintenance worker pool OUTSIDE maintMu at a sampled
+// maintenance epoch; the repair step then takes the lock, validates the
+// epoch, and applies the verdicts serially in container-ID order, so any
+// worker width produces identical repairs, stats, and final state
+// (DESIGN.md §8).
 func (g *GNode) Scrub() (*ScrubStats, error) {
+	// Journal replay mutates shared state; do it under the lock, before
+	// the verification pass reads anything.
 	g.maintMu.Lock()
-	defer g.maintMu.Unlock()
-
-	stats := &ScrubStats{}
 	replayed, err := g.repo.ReplayJournal()
+	g.maintMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("gnode: scrub: %w", err)
 	}
-	stats.JournalReplayed = replayed
-	cs := g.containers()
 
+	const maxOptimistic = 2
+	for attempt := 0; ; attempt++ {
+		locked := attempt >= maxOptimistic
+		if locked {
+			g.maintMu.Lock()
+		}
+		epoch := g.repo.MaintEpoch()
+		sv, err := g.scrubVerify()
+		if err != nil {
+			if locked {
+				g.maintMu.Unlock()
+			}
+			return nil, fmt.Errorf("gnode: scrub: %w", err)
+		}
+		if !locked {
+			g.maintMu.Lock()
+			if g.repo.MaintEpoch() != epoch {
+				g.maintMu.Unlock()
+				continue // a maintenance commit raced the verify; redo it
+			}
+		}
+		stats, err := g.scrubRepair(sv)
+		g.maintMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		stats.JournalReplayed = replayed
+		return stats, nil
+	}
+}
+
+// scrubVerdict is one container's verification result.
+type scrubVerdict struct {
+	meta *container.Meta // from ReadMeta; nil → metadata unreadable
+	// rawMeta is the payload's own metadata copy (what repairs rebuild
+	// from); the payload itself is released unless repair needs it.
+	rawMeta  *container.Meta
+	c        *container.Container // retained only when chunks need repairing
+	footerOK bool
+	readErr  bool // metadata decodes but the payload is unreadable
+	live     int  // live chunks checksummed
+	corrupt  []int
+}
+
+// scrubView is the read-only output of the parallel verification pass.
+type scrubView struct {
+	ids      []container.ID
+	verdicts []scrubVerdict
+	// owners (fingerprint → containers holding a live copy, in container
+	// order) drives donor and surviving-owner lookups without rescanning
+	// the namespace.
+	owners map[fingerprint.FP][]container.ID
+}
+
+// scrubVerify reads and checksums every container across the worker
+// pool. Each worker writes only its own verdict slot; the owners map is
+// assembled afterwards in deterministic container order.
+func (g *GNode) scrubVerify() (*scrubView, error) {
+	cs := g.containers()
 	ids, err := cs.List()
 	if err != nil {
-		return nil, fmt.Errorf("gnode: scrub: %w", err)
+		return nil, err
 	}
-
-	// Pass 1: metadata. The owners map (fingerprint → containers holding a
-	// live copy) drives donor lookups; containers whose metadata cannot be
-	// decoded are beyond repair (offsets unknown) and head to quarantine.
-	owners := make(map[fingerprint.FP][]container.ID)
-	bad := make(map[container.ID]bool)
-	for _, id := range ids {
-		m, err := cs.ReadMeta(id)
+	sv := &scrubView{ids: ids, verdicts: make([]scrubVerdict, len(ids))}
+	err = g.forEach(len(ids), func(i int) error {
+		v := &sv.verdicts[i]
+		m, err := cs.ReadMeta(ids[i])
 		if err != nil {
-			bad[id] = true
+			return nil // metadata unreadable → quarantine verdict
+		}
+		v.meta = m
+		c, footerOK, err := cs.ReadRaw(ids[i])
+		if err != nil {
+			v.readErr = true
+			return nil
+		}
+		v.footerOK = footerOK
+		for j := range c.Meta.Chunks {
+			cm := &c.Meta.Chunks[j]
+			if cm.Deleted {
+				continue
+			}
+			v.live++
+			if c.VerifyChunk(cm) != nil {
+				v.corrupt = append(v.corrupt, j)
+			}
+		}
+		if len(v.corrupt) > 0 {
+			v.c = c // the repair step needs the payload
+		} else {
+			// Keep only the metadata (rot cleanup rebuilds from it);
+			// the payload — the bulk of the memory — is dropped here.
+			cp := c.Meta
+			v.rawMeta = &cp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sv.owners = make(map[fingerprint.FP][]container.ID)
+	for i := range sv.verdicts {
+		m := sv.verdicts[i].meta
+		if m == nil {
 			continue
 		}
-		for i := range m.Chunks {
-			if cm := &m.Chunks[i]; !cm.Deleted {
-				owners[cm.FP] = append(owners[cm.FP], id)
+		for j := range m.Chunks {
+			if cm := &m.Chunks[j]; !cm.Deleted {
+				sv.owners[cm.FP] = append(sv.owners[cm.FP], sv.ids[i])
 			}
 		}
 	}
+	return sv, nil
+}
 
-	// Pass 2: payload verification and repair.
+// scrubRepair applies the verdicts under maintMu, in container-ID order:
+// quarantines, donor repairs, salvages, then the index and recipe fixes.
+// Only the independent rot-cleanup rewrites fan back out to the pool.
+func (g *GNode) scrubRepair(sv *scrubView) (*ScrubStats, error) {
+	stats := &ScrubStats{}
+	cs := g.containers()
+
+	bad := make(map[container.ID]bool)
+	for i := range sv.verdicts {
+		if sv.verdicts[i].meta == nil {
+			bad[sv.ids[i]] = true
+		}
+	}
+
 	quarantined := make(map[container.ID]bool)
 	moved := make(map[fingerprint.FP]container.ID) // salvaged/repaired relocations
 	lost := make(map[fingerprint.FP]bool)
@@ -114,7 +225,7 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 	// donor returns verified bytes for fp from any intact container other
 	// than exclude.
 	donor := func(fp fingerprint.FP, exclude container.ID) ([]byte, bool) {
-		for _, oid := range owners[fp] {
+		for _, oid := range sv.owners[fp] {
 			if oid == exclude || bad[oid] || quarantined[oid] {
 				continue
 			}
@@ -125,47 +236,33 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 		return nil, false
 	}
 
-	for _, id := range ids {
+	var rotOnly []int // verdict indices needing a dead-region rot rebuild
+	for i, id := range sv.ids {
+		v := &sv.verdicts[i]
 		stats.ContainersScanned++
-		if bad[id] {
+		if v.meta == nil || v.readErr {
 			if err := quarantine(id); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		c, footerOK, err := cs.ReadRaw(id)
-		if err != nil {
-			// Metadata decoded in pass 1 but the payload is now unreadable.
-			if err := quarantine(id); err != nil {
-				return nil, err
+		stats.ChunksVerified += v.live
+
+		if len(v.corrupt) == 0 {
+			if !v.footerOK && v.rawMeta.Checksummed() {
+				rotOnly = append(rotOnly, i)
 			}
 			continue
 		}
+		stats.CorruptChunks += len(v.corrupt)
 
-		var corrupt []*container.ChunkMeta
-		for i := range c.Meta.Chunks {
-			cm := &c.Meta.Chunks[i]
-			if cm.Deleted {
-				continue
-			}
-			stats.ChunksVerified++
-			if verr := c.VerifyChunk(cm); verr != nil {
-				corrupt = append(corrupt, cm)
-			}
+		c := v.c
+		corrupt := make([]*container.ChunkMeta, len(v.corrupt))
+		corruptSet := make(map[int]bool, len(v.corrupt))
+		for k, j := range v.corrupt {
+			corrupt[k] = &c.Meta.Chunks[j]
+			corruptSet[j] = true
 		}
-
-		if len(corrupt) == 0 {
-			if !footerOK && c.Meta.Checksummed() {
-				// Rot confined to deleted regions: rebuild to shed it.
-				if _, err := g.repo.RewriteContainer(cs, &c.Meta); err != nil {
-					return nil, fmt.Errorf("gnode: scrub rot cleanup %s: %w", id, err)
-				}
-				stats.FooterRepairs++
-				stats.RebuiltContainers++
-			}
-			continue
-		}
-		stats.CorruptChunks += len(corrupt)
 
 		repaired := make(map[fingerprint.FP][]byte, len(corrupt))
 		for _, cm := range corrupt {
@@ -178,13 +275,14 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 			// Full repair: rebuild in place from local intact bytes plus
 			// donor copies; recipes and the index stay valid as-is.
 			nc := &container.Container{Meta: container.Meta{ID: id}}
-			for i := range c.Meta.Chunks {
-				cm := &c.Meta.Chunks[i]
+			for j := range c.Meta.Chunks {
+				cm := &c.Meta.Chunks[j]
 				if cm.Deleted {
 					continue
 				}
 				data, ok := repaired[cm.FP]
 				if !ok {
+					var err error
 					if data, err = c.ChunkData(cm); err != nil {
 						return nil, err
 					}
@@ -206,8 +304,8 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 
 		// Partial damage with missing donors: salvage what verifies into
 		// fresh containers, quarantine the rest.
-		for i := range c.Meta.Chunks {
-			cm := &c.Meta.Chunks[i]
+		for j := range c.Meta.Chunks {
+			cm := &c.Meta.Chunks[j]
 			if cm.Deleted {
 				continue
 			}
@@ -215,10 +313,11 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 			if ok {
 				stats.RepairedChunks++
 			} else {
-				if c.VerifyChunk(cm) != nil {
+				if corruptSet[j] {
 					lost[cm.FP] = true
 					continue
 				}
+				var err error
 				if data, err = c.ChunkData(cm); err != nil {
 					return nil, err
 				}
@@ -237,6 +336,21 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 		return nil, err
 	}
 
+	// Dead-region rot cleanup: each rebuild touches one container under
+	// its own stripe lock and journal record — independent work, fanned
+	// out across the pool.
+	if err := g.forEach(len(rotOnly), func(k int) error {
+		v := &sv.verdicts[rotOnly[k]]
+		if _, err := g.repo.RewriteContainer(cs, v.rawMeta); err != nil {
+			return fmt.Errorf("gnode: scrub rot cleanup %s: %w", v.rawMeta.ID, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	stats.FooterRepairs += len(rotOnly)
+	stats.RebuiltContainers += len(rotOnly)
+
 	// A fingerprint is only lost if no intact copy survived anywhere.
 	for fp := range lost {
 		if _, ok := moved[fp]; ok {
@@ -249,10 +363,10 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 	}
 
 	if len(quarantined) > 0 {
-		if err := g.scrubFixIndex(stats, quarantined, moved, lost); err != nil {
+		if err := g.scrubFixIndex(stats, sv, bad, quarantined, moved, lost); err != nil {
 			return nil, err
 		}
-		if err := g.scrubFixRecipes(stats, quarantined, moved); err != nil {
+		if err := g.scrubFixRecipes(stats, sv, bad, quarantined, moved); err != nil {
 			return nil, err
 		}
 	}
@@ -264,30 +378,32 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 	if err := g.repo.Global.Flush(); err != nil {
 		return nil, err
 	}
+	if stats.RebuiltContainers > 0 || len(stats.Quarantined) > 0 || len(moved) > 0 ||
+		stats.IndexRepointed > 0 || stats.IndexPurged > 0 || stats.RecipesRewritten > 0 {
+		g.repo.BumpMaintEpoch()
+	}
 	return stats, nil
 }
 
 // scrubFixIndex repoints global-index entries that reference quarantined
 // containers at surviving copies, and purges entries for lost chunks so
-// restore redirects fail loudly instead of dangling.
-func (g *GNode) scrubFixIndex(stats *ScrubStats, quarantined map[container.ID]bool,
+// restore redirects fail loudly instead of dangling. Repoints are applied
+// as one group-committed batch.
+func (g *GNode) scrubFixIndex(stats *ScrubStats, sv *scrubView, bad, quarantined map[container.ID]bool,
 	moved map[fingerprint.FP]container.ID, lost map[fingerprint.FP]bool) error {
 
-	type fix struct {
-		fp  fingerprint.FP
-		nid container.ID // Invalid → purge
-	}
-	var fixes []fix
+	var repoints []globalindex.Entry
+	var purges []fingerprint.FP
 	err := g.repo.Global.Scan(func(fp fingerprint.FP, id container.ID) bool {
 		if !quarantined[id] {
 			return true
 		}
 		if nid, ok := moved[fp]; ok {
-			fixes = append(fixes, fix{fp, nid})
-		} else if nid, ok := g.intactOwner(fp, quarantined); ok {
-			fixes = append(fixes, fix{fp, nid})
+			repoints = append(repoints, globalindex.Entry{FP: fp, ID: nid})
+		} else if nid, ok := g.intactOwner(fp, sv, bad, quarantined); ok {
+			repoints = append(repoints, globalindex.Entry{FP: fp, ID: nid})
 		} else {
-			fixes = append(fixes, fix{fp, container.Invalid})
+			purges = append(purges, fp)
 			lost[fp] = true
 		}
 		return true
@@ -295,42 +411,30 @@ func (g *GNode) scrubFixIndex(stats *ScrubStats, quarantined map[container.ID]bo
 	if err != nil {
 		return err
 	}
-	for _, f := range fixes {
-		if f.nid == container.Invalid {
-			if err := g.repo.Global.Delete(f.fp); err != nil {
-				return err
-			}
-			stats.IndexPurged++
-			continue
-		}
-		if err := g.repo.Global.Put(f.fp, f.nid); err != nil {
+	if err := g.repo.Global.PutBatch(repoints); err != nil {
+		return err
+	}
+	stats.IndexRepointed += len(repoints)
+	for _, fp := range purges {
+		if err := g.repo.Global.Delete(fp); err != nil {
 			return err
 		}
-		stats.IndexRepointed++
+		stats.IndexPurged++
 	}
 	return nil
 }
 
 // intactOwner finds a non-quarantined container holding a live, verified
-// copy of fp.
-func (g *GNode) intactOwner(fp fingerprint.FP, quarantined map[container.ID]bool) (container.ID, bool) {
+// copy of fp, consulting the owners map the verification pass built
+// instead of rescanning the namespace.
+func (g *GNode) intactOwner(fp fingerprint.FP, sv *scrubView, bad, quarantined map[container.ID]bool) (container.ID, bool) {
 	cs := g.containers()
-	ids, err := cs.List()
-	if err != nil {
-		return container.Invalid, false
-	}
-	for _, id := range ids {
-		if quarantined[id] {
+	for _, id := range sv.owners[fp] {
+		if bad[id] || quarantined[id] {
 			continue
 		}
-		m, err := cs.ReadMeta(id)
-		if err != nil {
-			continue
-		}
-		if cm := m.Find(fp); cm != nil && !cm.Deleted {
-			if _, err := cs.ReadChunk(id, fp); err == nil {
-				return id, true
-			}
+		if _, err := cs.ReadChunk(id, fp); err == nil {
+			return id, true
 		}
 	}
 	return container.Invalid, false
@@ -340,7 +444,7 @@ func (g *GNode) intactOwner(fp fingerprint.FP, quarantined map[container.ID]bool
 // that reference quarantined containers, pointing each record at the
 // chunk's surviving home. Records whose chunks are lost keep their stale
 // reference — the restore path reports them loudly.
-func (g *GNode) scrubFixRecipes(stats *ScrubStats, quarantined map[container.ID]bool,
+func (g *GNode) scrubFixRecipes(stats *ScrubStats, sv *scrubView, bad, quarantined map[container.ID]bool,
 	moved map[fingerprint.FP]container.ID) error {
 
 	rs := g.recipes()
@@ -358,7 +462,7 @@ func (g *GNode) scrubFixRecipes(stats *ScrubStats, quarantined map[container.ID]
 		// Exclusive per-file: recipes are rewritten in place and must not
 		// race a backup appending a version or a restore resolving one.
 		g.repo.Files.Lock(f)
-		if err := g.scrubFixFile(stats, f, quarantined, resolved); err != nil {
+		if err := g.scrubFixFile(stats, f, sv, bad, quarantined, resolved); err != nil {
 			g.repo.Files.Unlock(f)
 			return err
 		}
@@ -369,7 +473,7 @@ func (g *GNode) scrubFixRecipes(stats *ScrubStats, quarantined map[container.ID]
 
 // scrubFixFile rewrites one file's recipes away from quarantined
 // containers; the caller holds the file's exclusive lock.
-func (g *GNode) scrubFixFile(stats *ScrubStats, f string, quarantined map[container.ID]bool,
+func (g *GNode) scrubFixFile(stats *ScrubStats, f string, sv *scrubView, bad, quarantined map[container.ID]bool,
 	resolved map[fingerprint.FP]container.ID) error {
 
 	rs := g.recipes()
@@ -392,7 +496,7 @@ func (g *GNode) scrubFixFile(stats *ScrubStats, f string, quarantined map[contai
 			}
 			nid, ok := resolved[rec.FP]
 			if !ok {
-				if nid, ok = g.intactOwner(rec.FP, quarantined); ok {
+				if nid, ok = g.intactOwner(rec.FP, sv, bad, quarantined); ok {
 					resolved[rec.FP] = nid
 				}
 			}

@@ -149,14 +149,21 @@ func Open(store oss.Store, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("kvstore: list wal: %w", err)
 	}
 	sort.Strings(walKeys)
-	for _, k := range walKeys {
+	for i, k := range walKeys {
 		seg, err := store.Get(k)
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: read wal %s: %w", k, err)
 		}
-		entries, err := decodeWALSegment(seg)
-		if err != nil {
-			return nil, fmt.Errorf("kvstore: replay %s: %w", k, err)
+		entries, derr := decodeWALSegment(seg)
+		if derr != nil {
+			// A record torn off the end of the FINAL segment is the
+			// signature of a crash mid-append: the decoded prefix is the
+			// durable part, the tail was never acknowledged. Anywhere
+			// else (earlier segment, or a CRC mismatch on a complete
+			// record) it is corruption and must fail recovery.
+			if !errors.Is(derr, errTruncatedWAL) || i != len(walKeys)-1 {
+				return nil, fmt.Errorf("kvstore: replay %s: %w", k, derr)
+			}
 		}
 		for i := range entries {
 			db.mem.insert(entries[i])

@@ -397,6 +397,29 @@ func (t *tableReader) get(key []byte) (entry, bool, error) {
 	return entry{}, false, nil
 }
 
+// blockEntries returns the decoded entries of data block bi, consulting
+// the DB-wide block cache first. Used by the batched read path, which
+// groups keys per block so each block is fetched at most once per probe.
+func (t *tableReader) blockEntries(bi int) ([]entry, error) {
+	h := t.index[bi]
+	ck := blockKey{table: t.meta.Name, off: h.off}
+	t.db.stats.TableReads++
+	if entries, cached := t.db.blocks.get(ck); cached {
+		t.db.stats.BlockCacheHits++
+		return entries, nil
+	}
+	blk, err := t.db.store.GetRange(t.db.tableKey(t.meta.Name), int64(h.off), int64(h.n))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read block of %s: %w", t.meta.Name, err)
+	}
+	entries, err := decodeBlockEntries(blk)
+	if err != nil {
+		return nil, err
+	}
+	t.db.blocks.put(ck, entries, int64(h.n))
+	return entries, nil
+}
+
 // allEntries streams every entry of the table in order (used by compaction
 // and range iteration). It reads the whole data region in one request.
 func (t *tableReader) allEntries() ([]entry, error) {

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 )
@@ -15,11 +16,29 @@ import (
 // on object storage. Each record carries a CRC32C so torn or corrupt
 // segments are detected during recovery.
 //
-// Record wire format, little endian:
+// Single-record wire format, little endian:
 //
 //	crc u32 | seq u64 | kind u8 | klen u32 | key | vlen u32 | value
 //
-// The CRC covers everything after the crc field.
+// Batch record (kind byte = walBatchKind, from DB.Apply): one record for
+// the whole batch under one CRC, so recovery replays it all-or-nothing:
+//
+//	crc u32 | baseSeq u64 | 0xFF u8 | count u32 |
+//	  ( kind u8 | klen u32 | key | vlen u32 | value )*
+//
+// Sub-entry i carries sequence baseSeq+i. The CRC covers everything after
+// the crc field in both formats.
+
+// walBatchKind marks a batch record; it cannot collide with entryKind
+// values, which are small iota constants.
+const walBatchKind = 0xFF
+
+// errTruncatedWAL marks a record that runs off the end of its segment — a
+// torn write. Open tolerates it at the tail of the final segment (the
+// decoded prefix is the durable part); anywhere else it is corruption.
+// Note a complete record with a damaged length field can masquerade as a
+// truncated one; that ambiguity is inherent to torn-write tolerance.
+var errTruncatedWAL = errors.New("kvstore: truncated WAL record")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -41,37 +60,101 @@ func appendWALRecord(buf []byte, e *entry) []byte {
 	return append(buf, body...)
 }
 
+// appendWALBatchRecord encodes a whole batch as one record. Entry seq
+// fields are implied (baseSeq+i), not serialized.
+func appendWALBatchRecord(buf []byte, baseSeq uint64, entries []entry) []byte {
+	size := 13
+	for i := range entries {
+		size += 9 + len(entries[i].key) + len(entries[i].value)
+	}
+	body := make([]byte, 0, size)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], baseSeq)
+	body = append(body, tmp[:]...)
+	body = append(body, walBatchKind)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(entries)))
+	body = append(body, tmp[:4]...)
+	for i := range entries {
+		e := &entries[i]
+		body = append(body, byte(e.kind))
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.key)))
+		body = append(body, tmp[:4]...)
+		body = append(body, e.key...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.value)))
+		body = append(body, tmp[:4]...)
+		body = append(body, e.value...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(body, crcTable))
+	buf = append(buf, tmp[:4]...)
+	return append(buf, body...)
+}
+
 // decodeWALSegment parses a WAL segment, returning its records in order.
+// On a truncated record it returns the complete prefix decoded so far
+// along with an error wrapping errTruncatedWAL, so the caller can decide
+// whether the tear is tolerable. A batch record is appended only if it
+// decodes completely and its CRC verifies — never partially.
 func decodeWALSegment(b []byte) ([]entry, error) {
 	var out []entry
 	p := 0
 	for p < len(b) {
-		if len(b) < p+4+13 {
-			return nil, fmt.Errorf("kvstore: truncated WAL record at %d", p)
+		if len(b) < p+17 {
+			return out, fmt.Errorf("%w: header at %d", errTruncatedWAL, p)
 		}
 		crc := binary.LittleEndian.Uint32(b[p:])
-		p += 4
-		start := p
-		seq := binary.LittleEndian.Uint64(b[p:])
-		kind := entryKind(b[p+8])
-		klen := int(binary.LittleEndian.Uint32(b[p+9:]))
-		p += 13
+		start := p + 4
+		seq := binary.LittleEndian.Uint64(b[start:])
+		kind := b[start+8]
+		n := int(binary.LittleEndian.Uint32(b[start+9:]))
+		p = start + 13
+
+		if kind == walBatchKind {
+			batch := make([]entry, 0, n)
+			for i := 0; i < n; i++ {
+				if len(b) < p+5 {
+					return out, fmt.Errorf("%w: batch entry header at %d", errTruncatedWAL, p)
+				}
+				ekind := entryKind(b[p])
+				klen := int(binary.LittleEndian.Uint32(b[p+1:]))
+				p += 5
+				if len(b) < p+klen+4 {
+					return out, fmt.Errorf("%w: batch key at %d", errTruncatedWAL, p)
+				}
+				key := append([]byte{}, b[p:p+klen]...)
+				p += klen
+				vlen := int(binary.LittleEndian.Uint32(b[p:]))
+				p += 4
+				if len(b) < p+vlen {
+					return out, fmt.Errorf("%w: batch value at %d", errTruncatedWAL, p)
+				}
+				value := append([]byte{}, b[p:p+vlen]...)
+				p += vlen
+				batch = append(batch, entry{key: key, value: value, seq: seq + uint64(i), kind: ekind})
+			}
+			if crc32.Checksum(b[start:p], crcTable) != crc {
+				return out, fmt.Errorf("kvstore: WAL CRC mismatch at %d", start)
+			}
+			out = append(out, batch...)
+			continue
+		}
+
+		klen := n
 		if len(b) < p+klen+4 {
-			return nil, fmt.Errorf("kvstore: truncated WAL key at %d", p)
+			return out, fmt.Errorf("%w: key at %d", errTruncatedWAL, p)
 		}
 		key := append([]byte{}, b[p:p+klen]...)
 		p += klen
 		vlen := int(binary.LittleEndian.Uint32(b[p:]))
 		p += 4
 		if len(b) < p+vlen {
-			return nil, fmt.Errorf("kvstore: truncated WAL value at %d", p)
+			return out, fmt.Errorf("%w: value at %d", errTruncatedWAL, p)
 		}
 		value := append([]byte{}, b[p:p+vlen]...)
 		p += vlen
 		if crc32.Checksum(b[start:p], crcTable) != crc {
-			return nil, fmt.Errorf("kvstore: WAL CRC mismatch at %d", start)
+			return out, fmt.Errorf("kvstore: WAL CRC mismatch at %d", start)
 		}
-		out = append(out, entry{key: key, value: value, seq: seq, kind: kind})
+		out = append(out, entry{key: key, value: value, seq: seq, kind: entryKind(kind)})
 	}
 	return out, nil
 }

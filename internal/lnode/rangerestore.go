@@ -38,7 +38,7 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 		end = off + length
 	}
 
-	full, redirects, release, err := n.pinSequence(containers, r, acct)
+	full, redirects, _, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,40 @@
+package lnode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Sequence resolution used to pay one metadata read per recipe record;
+// the per-pass memo collapses that to one read per distinct container.
+// pinSequence resolves twice (resolve, then revalidate under pins), so
+// the lookups split exactly into reads + memo hits across two passes.
+func TestResolveSequenceMemoized(t *testing.T) {
+	n, _ := newNode(t, testConfig())
+	data := genData(3, 1<<20)
+	if _, err := n.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	st, err := n.Restore("f", 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("restore mismatch")
+	}
+
+	c := st.Cache
+	if c.ResolveMetaReads == 0 || c.ResolveMetaMemoHits == 0 {
+		t.Fatalf("resolution counters empty: reads=%d hits=%d", c.ResolveMetaReads, c.ResolveMetaMemoHits)
+	}
+	if got, want := c.ResolveMetaReads+c.ResolveMetaMemoHits, 2*c.Requests; got != want {
+		t.Fatalf("lookups %d over two passes, want %d (2×%d records)", got, want, c.Requests)
+	}
+	// A 1 MiB file spans few containers but ~256 chunks: the memo must
+	// absorb the overwhelming majority of the lookups.
+	if c.ResolveMetaReads >= c.ResolveMetaMemoHits {
+		t.Fatalf("memo ineffective: %d reads vs %d hits", c.ResolveMetaReads, c.ResolveMetaMemoHits)
+	}
+}

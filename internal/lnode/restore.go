@@ -63,7 +63,7 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 		Account:         acct,
 	}
 
-	seq, redirects, release, err := n.pinSequence(containers, r, acct)
+	seq, redirects, rst, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +112,8 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 
 	stats.Bytes = cstats.LogicalBytes
 	stats.Cache = cstats
+	stats.Cache.ResolveMetaReads = rst.metaReads
+	stats.Cache.ResolveMetaMemoHits = rst.memoHits
 	if threads > 0 {
 		// LAW prefetching overlaps OSS reads with the restore pipeline
 		// across `threads` parallel channels (§V-A, Table II).
@@ -130,25 +132,27 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 // during the window we release, adopt the new set, and retry. Pins are
 // shared read-locks taken in sorted stripe order (core.ContainerLocks.Pin),
 // so concurrent restores never deadlock and rewrites wait, not fail.
-func (n *LNode) pinSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, func(), error) {
-	seq, _, err := n.resolveSequence(containers, r, acct)
+func (n *LNode) pinSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, func(), error) {
+	seq, _, total, err := n.resolveSequence(containers, r, acct)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, resolveStats{}, nil, err
 	}
 	const maxAttempts = 8
 	for attempt := 0; ; attempt++ {
 		release := n.repo.CLocks.Pin(requestContainers(seq))
-		seq2, redirects2, err := n.resolveSequence(containers, r, acct)
+		seq2, redirects2, rst, err := n.resolveSequence(containers, r, acct)
+		total.metaReads += rst.metaReads
+		total.memoHits += rst.memoHits
 		if err != nil {
 			release()
-			return nil, 0, nil, err
+			return nil, 0, resolveStats{}, nil, err
 		}
 		if sameContainers(seq, seq2) {
-			return seq2, redirects2, release, nil
+			return seq2, redirects2, total, release, nil
 		}
 		release()
 		if attempt+1 >= maxAttempts {
-			return nil, 0, nil, fmt.Errorf("lnode: restore %s v%d: container set unstable after %d attempts",
+			return nil, 0, resolveStats{}, nil, fmt.Errorf("lnode: restore %s v%d: container set unstable after %d attempts",
 				r.FileID, r.Version, maxAttempts)
 		}
 		seq = seq2
@@ -175,20 +179,47 @@ func sameContainers(a, b []cache.Request) bool {
 	return true
 }
 
+// resolveStats counts the metadata traffic of sequence resolution.
+type resolveStats struct {
+	metaReads int // container-metadata fetches actually issued
+	memoHits  int // per-record lookups served by the pass's memo
+}
+
 // resolveSequence converts a recipe into the restore request sequence,
 // redirecting chunks whose original copy was deleted by reverse
 // deduplication or sparse-container compaction. The redirect pays one
 // global-index query per moved chunk — the cost the paper accepts for old
 // versions (§VI-A).
-func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, error) {
+//
+// Recipes reference the same container for long runs of consecutive
+// chunks, so the metadata read is memoized. The memo lives for ONE pass
+// only: pinSequence re-resolves after pinning precisely to observe any
+// maintenance that slid in, and a memo surviving between the passes
+// would blind that revalidation.
+func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, error) {
 	seq := make([]cache.Request, 0, r.NumChunks())
 	redirects := 0
+	var rst resolveStats
+	memo := make(map[container.ID]*container.Meta) // nil value → unreadable
+	readMeta := func(id container.ID) (*container.Meta, bool) {
+		if m, ok := memo[id]; ok {
+			rst.memoHits++
+			return m, m != nil
+		}
+		rst.metaReads++
+		m, err := containers.ReadMeta(id)
+		if err != nil {
+			m = nil
+		}
+		memo[id] = m
+		return m, m != nil
+	}
 	var iterErr error
 	r.Iter(func(_, _ int, rec *recipe.ChunkRecord) bool {
 		req := cache.Request{FP: rec.FP, Container: rec.Container, Size: rec.Size}
-		m, err := containers.ReadMeta(rec.Container)
+		m, readable := readMeta(rec.Container)
 		switch {
-		case err == nil:
+		case readable:
 			if cm := m.Find(rec.FP); cm == nil || cm.Deleted {
 				// Moved: consult the global index.
 				acct.ChargeCPU(simclock.PhaseIndexQuery, n.repo.Config.Costs.IndexLookup)
@@ -225,7 +256,7 @@ func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, a
 		return true
 	})
 	if iterErr != nil {
-		return nil, 0, iterErr
+		return nil, 0, resolveStats{}, iterErr
 	}
-	return seq, redirects, nil
+	return seq, redirects, rst, nil
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Microbenchmark sweep over the hot primitives: chunker cutters,
+# fingerprint hashing, and kvstore point/batch operations. BENCHTIME
+# overrides the per-benchmark budget (default 1s); check.sh runs this
+# with BENCHTIME=1x as a does-it-still-run smoke test.
+#
+# Whole-system numbers (throughput scaling, maintenance wall clock) live
+# in cmd/slimbench, not here.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+
+go test -run '^$' -bench '^BenchmarkCutters$' -benchtime "$BENCHTIME" ./internal/chunker/
+go test -run '^$' -bench '^BenchmarkFingerprint$' -benchtime "$BENCHTIME" ./internal/fingerprint/
+go test -run '^$' -bench '^Benchmark(KVPut|KVGet|KVBatchPut|KVGetMulti)$' -benchtime "$BENCHTIME" ./internal/kvstore/

@@ -10,6 +10,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Microbenchmark smoke: one iteration each, so broken benchmarks fail
+# the gate without costing real measurement time.
+BENCHTIME=1x sh ./scripts/bench.sh
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
