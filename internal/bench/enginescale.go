@@ -58,6 +58,7 @@ type ScaleReport struct {
 // scaleOutPath decides where the JSON artifact lands; BENCH_OUT overrides
 // the default (BENCH_scale.json in the working directory).
 func scaleOutPath() string {
+	//slimlint:ignore determinism BENCH_OUT only picks where the artifact file lands; it never affects measured results
 	if p := os.Getenv("BENCH_OUT"); p != "" {
 		return p
 	}
@@ -69,8 +70,9 @@ func scaleOutPath() string {
 // jobs.Engine, and reports aggregate throughput per round. Each round
 // uses a fresh repo so rounds are independent: all data is unique, which
 // makes backup cost hash-dominated and the sweep a clean measure of how
-// the engine scales on real cores.
-func RunEngineScale(lnodeCounts []int, jobsPerNode, fileBytes int) (*ScaleReport, error) {
+// the engine scales on real cores. ctx cancels job submission between
+// rounds (a started job runs to completion, per the engine's job model).
+func RunEngineScale(ctx context.Context, lnodeCounts []int, jobsPerNode, fileBytes int) (*ScaleReport, error) {
 	rep := &ScaleReport{
 		Experiment:  "scale",
 		JobsPerNode: jobsPerNode,
@@ -97,8 +99,10 @@ func RunEngineScale(lnodeCounts []int, jobsPerNode, fileBytes int) (*ScaleReport
 			backups[j] = jobs.Job{Kind: jobs.Backup, FileID: gen.FileIDs()[j], Data: gen.Base(j)}
 		}
 		pt := ScalePoint{LNodes: n, Jobs: nJobs}
+		//slimlint:ignore determinism the wall-clock columns ARE the measurement: this sweep reports host throughput next to the virtual model
 		start := time.Now()
-		results := eng.Run(context.Background(), backups)
+		results := eng.Run(ctx, backups)
+		//slimlint:ignore determinism wall-clock is the measured quantity here
 		wall := time.Since(start)
 		var virtual time.Duration
 		for _, r := range results {
@@ -120,8 +124,10 @@ func RunEngineScale(lnodeCounts []int, jobsPerNode, fileBytes int) (*ScaleReport
 		for j := range restores {
 			restores[j] = jobs.Job{Kind: jobs.Restore, FileID: gen.FileIDs()[j], Version: 0}
 		}
+		//slimlint:ignore determinism the wall-clock columns ARE the measurement: this sweep reports host throughput next to the virtual model
 		start = time.Now()
-		results = eng.Run(context.Background(), restores)
+		results = eng.Run(ctx, restores)
+		//slimlint:ignore determinism wall-clock is the measured quantity here
 		wall = time.Since(start)
 		virtual = 0
 		for _, r := range results {
@@ -144,8 +150,8 @@ func RunEngineScale(lnodeCounts []int, jobsPerNode, fileBytes int) (*ScaleReport
 
 // runEngineScale is the registered experiment: it prints the sweep and
 // writes the BENCH_scale.json regression artifact (path via BENCH_OUT).
-func runEngineScale(w io.Writer, s Scale) error {
-	rep, err := RunEngineScale([]int{1, 2, 4, 6, 8}, 2, s.FileBytes/4)
+func runEngineScale(ctx context.Context, w io.Writer, s Scale) error {
+	rep, err := RunEngineScale(ctx, []int{1, 2, 4, 6, 8}, 2, s.FileBytes/4)
 	if err != nil {
 		return err
 	}

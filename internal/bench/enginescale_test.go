@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -32,7 +33,7 @@ func TestEngineScaleRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow bench sweep")
 	}
-	rep, err := RunEngineScale([]int{1, 4}, 2, 2<<20)
+	rep, err := RunEngineScale(context.Background(), []int{1, 4}, 2, 2<<20)
 	if err != nil {
 		t.Fatal(err)
 	}

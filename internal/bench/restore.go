@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -69,7 +70,7 @@ func restoreWith(repo *core.Repo, ln *lnode.LNode, fileID string, version int,
 	return ln.Restore(fileID, version, io.Discard)
 }
 
-func runFig8ab(w io.Writer, s Scale) error {
+func runFig8ab(ctx context.Context, w io.Writer, s Scale) error {
 	gen := workload.New(workload.SDB(s.Files, s.FileBytes))
 	versions := clampVersions(s, 25)
 	fileIdx := 0 // lowest dup ratio → most churn → most fragmentation
@@ -112,7 +113,7 @@ func versionStep(versions int) int {
 	return 1
 }
 
-func runFig8c(w io.Writer, s Scale) error {
+func runFig8c(ctx context.Context, w io.Writer, s Scale) error {
 	gen := workload.New(workload.SDB(s.Files, s.FileBytes))
 	versions := clampVersions(s, 25)
 	fileIdx := 0
@@ -179,7 +180,7 @@ func runFig8c(w io.Writer, s Scale) error {
 	return nil
 }
 
-func runFig8d(w io.Writer, s Scale) error {
+func runFig8d(ctx context.Context, w io.Writer, s Scale) error {
 	gen := workload.New(workload.SDB(s.Files, s.FileBytes))
 	versions := clampVersions(s, 25)
 	fileIdx := 0
@@ -245,7 +246,7 @@ func runFig8d(w io.Writer, s Scale) error {
 	return nil
 }
 
-func runTable2(w io.Writer, s Scale) error {
+func runTable2(ctx context.Context, w io.Writer, s Scale) error {
 	gen := workload.New(workload.SDB(s.Files, s.FileBytes))
 	versions := clampVersions(s, 8)
 	fileIdx := s.Files / 2

@@ -181,6 +181,7 @@ func New(repo *core.Repo, g *gnode.GNode, opts Options) *Engine {
 // ctx.Err() if the context is cancelled first. ctx may be nil.
 func (e *Engine) Submit(ctx context.Context, j Job) (*Ticket, error) {
 	if ctx == nil {
+		//slimlint:ignore ctxflow documented API contract: Submit accepts a nil ctx and degrades to an uncancellable job, matching the paper's run-to-completion model
 		ctx = context.Background()
 	}
 	e.mu.RLock()

@@ -1,0 +1,201 @@
+// Package lint is slimlint: a project-invariant static analyzer for this
+// repository. The concurrency and determinism rules the system stakes its
+// correctness on — the acyclic lock hierarchy of DESIGN.md §7, the
+// virtual-time determinism contract of internal/simclock, the error
+// discipline of the storage layer — live in prose and in whichever tests
+// happen to exercise the bad interleaving. slimlint checks them at
+// compile time, over plain go/ast + go/types (no x/tools), so a refactor
+// that silently inverts a lock order or sneaks wall-clock time into a
+// charged path fails the gate instead of surfacing later under -race.
+//
+// Analyzers (see DESIGN.md §9 for the invariant each one guards):
+//
+//   - lockorder: Lock/RLock acquisitions must respect
+//     maintMu → FileLocks → ContainerLocks → leaf mutexes, including
+//     through one level of intra-package calls; a Lock must have a
+//     reachable Unlock (directly, deferred, or via a returned release
+//     closure).
+//   - determinism: no time.Now, global math/rand, or os.Getenv inside
+//     simclock-charged packages (lnode, gnode, oss, jobs, bench), and no
+//     map iteration flowing into encoded output without a sort.
+//   - errdiscipline: no discarded error results from the oss, kvstore,
+//     journal, or container APIs; `_ =` needs a //slimlint:ignore with a
+//     reason.
+//   - ctxflow: no context.Background()/TODO() outside package main and
+//     tests; a function that receives a ctx forwards that ctx.
+//
+// Findings are suppressed line-by-line with
+//
+//	//slimlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it. The reason is mandatory: a
+// bare ignore is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative path
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named rule set run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Analyzers returns the full suite, in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		lockOrderAnalyzer(),
+		determinismAnalyzer(),
+		errDisciplineAnalyzer(),
+		ctxFlowAnalyzer(),
+	}
+}
+
+// Run executes every analyzer over pkgs, applies //slimlint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Invalid directives (missing reason) and unused directives are reported
+// as findings of the synthetic "suppression" analyzer.
+func Run(pkgs []*Package) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			all = append(all, a.Run(pkg)...)
+		}
+	}
+	all = applySuppressions(pkgs, all)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+// finding builds a Finding at pos within pkg.
+func (p *Package) finding(analyzer string, pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		Analyzer: analyzer,
+		File:     p.relPath(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by several analyzers.
+
+// pkgNameOf resolves a selector base like `time` in `time.Now` to the
+// imported package it names, or nil if the base is not a package
+// qualifier.
+func (p *Package) pkgNameOf(e ast.Expr) *types.Package {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// namedRecv dereferences pointers and returns the named type of t, or nil.
+func namedRecv(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves the *types.Func a call invokes (plain function or
+// method), or nil for builtins, conversions, and indirect calls through
+// function values.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFuncs yields every function body in the file: declared
+// functions and methods plus each function literal, paired with the
+// parameter list in scope for it. Literals are visited as independent
+// bodies: a goroutine or deferred closure does not inherit the lock/ctx
+// state of its lexical parent, and treating them separately keeps the
+// analyzers conservative.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+}
+
+func fileFuncBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{decl: fd, typ: fd.Type, body: fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcBody{lit: fl, typ: fl.Type, body: fl.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks n without descending into nested function
+// literals; fileFuncBodies hands those out as bodies of their own.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

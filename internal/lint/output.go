@@ -1,0 +1,37 @@
+// Rendering: the human form is one finding per line in the conventional
+// file:line:col layout editors hyperlink, grouped under a diff-style
+// per-file header; the JSON form is a stable machine-readable array that
+// CI uploads as an artifact.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteHuman renders findings grouped by file with a trailing count.
+func WriteHuman(w io.Writer, findings []Finding) {
+	lastFile := ""
+	for _, f := range findings {
+		if f.File != lastFile {
+			fmt.Fprintf(w, "--- %s\n", f.File)
+			lastFile = f.File
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(w, "\nslimlint: %d finding(s)\n", len(findings))
+	}
+}
+
+// WriteJSON renders findings as a JSON array (never null: an empty run is
+// `[]`, so artifact consumers need no special case).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

@@ -1,0 +1,31 @@
+// Package ctxflow_bad mints root contexts outside main: once plainly,
+// once while a perfectly good ctx sits in the parameter list.
+package ctxflow_bad
+
+import "context"
+
+func mint() context.Context {
+	return context.Background() // BAD: root context outside main
+}
+
+func todo() context.Context {
+	return context.TODO() // BAD: TODO is still a root
+}
+
+func refusesToForward(ctx context.Context) error {
+	return work(context.Background()) // BAD: received ctx not forwarded
+}
+
+func forwards(ctx context.Context) error {
+	return work(ctx)
+}
+
+func derives(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(c)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,37 @@
+// Package errdisc_bad discards storage-layer errors in every way the
+// errdiscipline analyzer distinguishes: a bare expression statement, a
+// `_ =` without justification, a deferred call, a goroutine, and the
+// multi-value `v, _ :=` form. It also carries one malformed suppression
+// (no reason) to pin that bare excuses are findings, not passes.
+package errdisc_bad
+
+import "slimstore/internal/oss"
+
+func drop(s oss.Store) {
+	s.Put("k", nil) // BAD: result discarded
+
+	_ = s.Delete("k") // BAD: _ without an ignore directive
+
+	defer s.Put("k2", nil) // BAD: deferred discard
+
+	go s.Delete("k3") // BAD: goroutine discard
+}
+
+func dropMulti(s oss.Store) []byte {
+	b, _ := s.Get("k") // BAD: error position is _
+	return b
+}
+
+func bareExcuse(s oss.Store) {
+	//slimlint:ignore errdiscipline
+	_ = s.Delete("k") // BAD: directive has no reason, so it neither suppresses nor passes
+}
+
+func checked(s oss.Store) error {
+	if err := s.Put("k", nil); err != nil {
+		return err
+	}
+	b, err := s.Get("k")
+	_ = b
+	return err
+}

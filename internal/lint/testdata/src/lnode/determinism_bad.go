@@ -1,0 +1,77 @@
+// Package lnode is the determinism fixture: it carries the package name
+// of a simclock-charged package, so every nondeterminism pattern below
+// must be flagged — wall clock, global rand, env reads, and map iteration
+// order escaping into output — while the explicitly seeded and
+// explicitly sorted forms stay clean.
+package lnode
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// wallClock leaks host time into a charged path.
+func wallClock() int64 {
+	return time.Now().UnixNano() // BAD: time.Now in charged package
+}
+
+// elapsed leaks host time via Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // BAD: time.Since in charged package
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // BAD: global math/rand
+}
+
+// env reads ambient configuration.
+func env() string {
+	return os.Getenv("SLIM_DEBUG") // BAD: os.Getenv in charged package
+}
+
+// encodeKeys lets map iteration order become the encoded artifact.
+func encodeKeys(counts map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range counts { // BAD: appended slice never sorted
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys)
+}
+
+// writeRows emits rows straight from the loop body.
+func writeRows(enc *json.Encoder, counts map[string]int) error {
+	for k, v := range counts {
+		if err := enc.Encode([2]any{k, v}); err != nil { // BAD: sink inside map range
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys is the negative control: collected then sorted.
+func sortedKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seeded is deterministic: explicit seed, explicit source.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// counting builds a map from a map — order-independent, no finding.
+func counting(in map[string]int) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v > 0
+	}
+	return out
+}

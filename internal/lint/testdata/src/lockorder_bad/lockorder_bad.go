@@ -1,0 +1,104 @@
+// Package lockorder_bad commits every lock-hierarchy sin slimlint knows:
+// inverted acquisition order (directly and through a sibling call), a
+// leaked Lock, a self-deadlocking re-lock, a discarded release func, and
+// a deferred Lock. It imports the real core lock tables so the fixtures
+// exercise exactly the types production code uses.
+package lockorder_bad
+
+import (
+	"sync"
+
+	"slimstore/internal/container"
+	"slimstore/internal/core"
+)
+
+type node struct {
+	maintMu sync.Mutex
+	mu      sync.Mutex
+	files   *core.FileLocks
+	clocks  *core.ContainerLocks
+}
+
+// containerBeforeFile inverts FileLocks → ContainerLocks.
+func (n *node) containerBeforeFile(id container.ID, file string) {
+	n.clocks.Lock(id)
+	defer n.clocks.Unlock(id)
+	n.files.Lock(file) // BAD: FileLocks acquired under a container stripe
+	defer n.files.Unlock(file)
+}
+
+// leafBeforeMaint inverts maintMu → leaves.
+func (n *node) leafBeforeMaint() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.maintMu.Lock() // BAD: maintMu acquired under a leaf mutex
+	defer n.maintMu.Unlock()
+}
+
+// leak never releases the file stripe.
+func (n *node) leak(file string) {
+	n.files.Lock(file) // BAD: no Unlock on any path
+}
+
+// relock deadlocks on itself.
+func (n *node) relock() {
+	n.mu.Lock()
+	n.mu.Lock() // BAD: second Lock can never proceed
+	n.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// lockFile is the sibling the one-level call-graph check sees through.
+func (n *node) lockFile(file string) {
+	n.files.Lock(file)
+	defer n.files.Unlock(file)
+}
+
+// callsSiblingHoldingContainer holds a container stripe and calls a
+// sibling that takes a file stripe: the same inversion, one frame deep.
+func (n *node) callsSiblingHoldingContainer(id container.ID, file string) {
+	n.clocks.Lock(id)
+	defer n.clocks.Unlock(id)
+	n.lockFile(file) // BAD: callee acquires FileLocks under ContainerLocks
+}
+
+// dropsRelease pins stripes and throws the only release away.
+func (n *node) dropsRelease(ids []container.ID) {
+	_ = n.clocks.Pin(ids) // BAD: release func discarded
+}
+
+// deferredLock defers an acquisition — a typo'd Unlock.
+func (n *node) deferredLock() {
+	defer n.mu.Lock() // BAD: acquires at exit
+}
+
+// properOrder is the negative control: full hierarchy walked top-down
+// with defers, plus the release-closure pattern. No findings.
+func (n *node) properOrder(id container.ID, ids []container.ID, file string) {
+	n.maintMu.Lock()
+	defer n.maintMu.Unlock()
+	n.files.Lock(file)
+	defer n.files.Unlock(file)
+	release := n.clocks.Pin(ids)
+	defer release()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+}
+
+// branchBalanced releases on one arm and falls through on the other; the
+// merge must not believe the lock is still held afterwards. No findings.
+func (n *node) branchBalanced(cond bool) {
+	n.mu.Lock()
+	if cond {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+}
+
+// returnsRelease hands the obligation to its caller, like LockAll. No
+// findings.
+func (n *node) returnsRelease(ids []container.ID) func() {
+	release := n.clocks.Pin(ids)
+	return release
+}

@@ -1,0 +1,24 @@
+// Package suppress_ok would be full of findings — but every one carries
+// a well-formed //slimlint:ignore with a reason, in both the line-above
+// and same-line forms, so slimlint exits 0 on it. (Suppression inside
+// charged packages is exercised by the committed bench suppressions in
+// the real tree; this fixture pins the directive mechanics alone.)
+package suppress_ok
+
+import (
+	"context"
+
+	"slimstore/internal/oss"
+)
+
+func excusedDiscard(s oss.Store) {
+	//slimlint:ignore errdiscipline best-effort cache cleanup; a failed delete only delays space reclaim
+	_ = s.Delete("cache-key")
+
+	s.Put("k", nil) //slimlint:ignore errdiscipline same-line form: fire-and-forget warmup write, never read back
+}
+
+func excusedRoot() context.Context {
+	//slimlint:ignore ctxflow this fixture models a detached janitor loop that must outlive request contexts
+	return context.Background()
+}

@@ -164,6 +164,7 @@ func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
 		j.builder = container.NewBuilderAsync(j.containers, j.pool)
 		defer func() {
 			if j.pool != nil { // error path: drain workers before returning
+				//slimlint:ignore errdiscipline this deferred drain only runs when Backup is already returning the original error; persist() owns the success-path Close and checks it
 				j.pool.Close()
 			}
 		}()

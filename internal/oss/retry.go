@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,13 @@ type Retry struct {
 	IsTransient func(error) bool
 }
 
+// retrySeq hands each Retry instance a distinct jitter seed. A process
+// counter instead of the wall clock keeps charged paths deterministic
+// (same construction order → same jitter sequence) while still
+// de-synchronising concurrent retriers within the process; callers that
+// want different cross-process spreading inject their own via SetRand.
+var retrySeq atomic.Int64
+
 // NewRetry wraps inner with `attempts` total tries (minimum 1) and
 // exponential backoff starting at base, capped at DefaultMaxBackoff.
 // sleep may be nil for time.Sleep.
@@ -54,7 +62,7 @@ func NewRetry(inner Store, attempts int, base time.Duration, sleep func(time.Dur
 		base:        base,
 		maxDelay:    DefaultMaxBackoff,
 		sleep:       sleep,
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:         rand.New(rand.NewSource(retrySeq.Add(1))),
 		IsTransient: IsTransient,
 	}
 }

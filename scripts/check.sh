@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Project-invariant static analysis: lock ordering, determinism in
+# simclock-charged packages, storage error discipline, context flow.
+# Zero findings is the bar; see DESIGN.md §9 for suppression rules.
+sh ./scripts/lint.sh
+
 go test -race ./...
 
 # Microbenchmark smoke: one iteration each, so broken benchmarks fail

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# slimlint entry point: the project-invariant static analyzer (lock
+# order, determinism, error discipline, context flow). Exits nonzero on
+# any finding; see DESIGN.md §9 for the invariants and the suppression
+# syntax.
+#
+# Usage:
+#   ./scripts/lint.sh                  # lint the whole module, human output
+#   ./scripts/lint.sh -json            # machine-readable findings on stdout
+#   ./scripts/lint.sh ./internal/oss   # lint specific packages
+set -eu
+cd "$(dirname "$0")/.."
+
+JSON=""
+if [ "${1:-}" = "-json" ]; then
+	JSON="-json"
+	shift
+fi
+
+exec go run ./cmd/slimlint $JSON "$@"
