@@ -173,8 +173,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("restored %q version %d: %d bytes (%d container reads)\n",
-			*name, v, st.Bytes, st.Cache.ContainersRead)
+		fmt.Printf("restored %q version %d: %d bytes (%d container reads, %d shared-cache hits, %d singleflight joins, %d ranged reads/%d spans)\n",
+			*name, v, st.Bytes, st.Cache.ContainersRead,
+			st.Cache.SharedHits, st.Cache.SharedJoins, st.Cache.RangedReads, st.Cache.RangedSpans)
 
 	case "list":
 		fs.Parse(args)

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRestoreIORegression is the perf gate for the node-level restore I/O
+// layer. Every column it checks is virtual time or modelled OSS traffic,
+// so the floors are deterministic — no host-speed slack needed. Twin
+// equivalence (every concurrent restore bit-identical to the serial
+// baseline) is enforced inside the runner: a mismatch fails the run, and
+// `go test -race` runs this whole sweep under the race detector.
+func TestRestoreIORegression(t *testing.T) {
+	rep, err := RunRestoreIO(context.Background(), []int{16 << 10, 0}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	if len(rep.Sparse) != 2 || len(rep.Overlap) != 1 {
+		t.Fatalf("unexpected report shape: %d sparse, %d overlap", len(rep.Sparse), len(rep.Overlap))
+	}
+
+	// Sparse shape: the planner must beat full container GETs by >= 1.5x
+	// in virtual time AND in OSS bytes (measured ~3.2x / ~10x).
+	sparse := rep.Sparse[0]
+	if sparse.RangedReads == 0 || sparse.RangedSpans == 0 {
+		t.Fatalf("planner never chose ranged reads on the sparse shape: %+v", sparse)
+	}
+	if sparse.Speedup < 1.5 {
+		t.Errorf("sparse restore speedup = %.2fx (full %.1fms, ranged %.1fms), want >= 1.5x",
+			sparse.Speedup, sparse.FullMS, sparse.RangedMS)
+	}
+	if sparse.ByteReduction < 1.5 {
+		t.Errorf("sparse restore byte reduction = %.2fx (full %d, ranged %d), want >= 1.5x",
+			sparse.ByteReduction, sparse.FullOSSBytes, sparse.RangedOSSBytes)
+	}
+
+	// Dense control: a full restore needs every chunk, the planner must
+	// fall back to full GETs, and enabling it must cost nothing.
+	dense := rep.Sparse[1]
+	if dense.RangedSpans != 0 {
+		t.Errorf("planner issued %d ranged spans on a dense full restore", dense.RangedSpans)
+	}
+	if dense.Speedup < 0.99 || dense.Speedup > 1.01 {
+		t.Errorf("dense control speedup = %.3fx (full %.1fms, ranged %.1fms), want 1.0x",
+			dense.Speedup, dense.FullMS, dense.RangedMS)
+	}
+
+	// Overlapping concurrent shape: shared cache + singleflight must cut
+	// base-store traffic >= 1.5x vs per-job fetching (measured: exactly
+	// the job count, 4x).
+	ov := rep.Overlap[0]
+	if ov.SharedHits+ov.SharedJoins == 0 {
+		t.Fatalf("concurrent restores never shared a fetch: %+v", ov)
+	}
+	if ov.GetReduction < 1.5 {
+		t.Errorf("OSS GET reduction = %.2fx (%d per-job, %d shared), want >= 1.5x",
+			ov.GetReduction, ov.PerJobGets, ov.SharedGets)
+	}
+	if ov.ByteReduction < 1.5 {
+		t.Errorf("OSS byte reduction = %.2fx (%d per-job, %d shared), want >= 1.5x",
+			ov.ByteReduction, ov.PerJobBytes, ov.SharedBytes)
+	}
+}

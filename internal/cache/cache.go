@@ -60,6 +60,18 @@ type Stats struct {
 	// lookups the per-pass memo answered without touching the store.
 	ResolveMetaReads    int
 	ResolveMetaMemoHits int
+
+	// Node-level restore I/O (filled by the lnode fetch layer, not the
+	// policies): fetches served by the shared node-wide cache, fetches
+	// that rode another job's in-flight OSS GET, and ranged reads the
+	// cost-model planner chose over full-object reads. RangedBytes is the
+	// span bytes fetched where a full read would have cost OSSBytes-sized
+	// objects; OSSBytes above counts only bytes this job actually fetched.
+	SharedHits  int
+	SharedJoins int
+	RangedReads int   // containers fetched via span reads
+	RangedSpans int   // total GetRange calls those reads issued
+	RangedBytes int64 // total span bytes fetched
 }
 
 // ReadAmplification is containers read per 100 MB of restored data, the

@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"sort"
+	"time"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/simclock"
+)
+
+// This file is the ranged-read planner (DESIGN.md §10.3). After reverse
+// deduplication and SCC, a container referenced by an old version often
+// holds only a few chunks that version still needs; fetching the whole
+// 4 MiB object to serve 32 KiB is read amplification the simclock cost
+// model makes visible. Given the chunks a restore needs from a container
+// and its metadata, Plan chooses between one full GET and k coalesced
+// ranged GETs by comparing the modelled virtual-time cost of each.
+
+// ReadPlan is the planner's verdict for one container.
+type ReadPlan struct {
+	// Full selects a whole-object read (when dense enough that span
+	// requests would cost more than the saved bandwidth).
+	Full bool
+	// Spans are the coalesced ranges to fetch when !Full, in ascending
+	// offset order, chunk indexes resolved exactly as Meta.Find would.
+	Spans []container.Span
+	// NeedBytes is the payload actually required (sum of needed chunk
+	// sizes); SpanBytes includes the coalescing gaps fetched alongside.
+	NeedBytes int64
+	SpanBytes int64
+	// FullCost and RangedCost are the modelled virtual times the choice
+	// compared.
+	FullCost   time.Duration
+	RangedCost time.Duration
+}
+
+// coalesceGap returns the break-even gap in bytes: fetching g gap bytes
+// costs g/bandwidth, splitting a span costs one request latency, so gaps
+// up to latency×bandwidth are cheaper to read through than to split on.
+func coalesceGap(costs simclock.Costs) int64 {
+	return int64(costs.OSSRequestLatency.Seconds() * costs.OSSReadBandwidth)
+}
+
+// readCost models one OSS read session of k requests totalling n bytes.
+func readCost(costs simclock.Costs, k int, n int64) time.Duration {
+	d := time.Duration(k) * costs.OSSRequestLatency
+	if costs.OSSReadBandwidth > 0 {
+		d += time.Duration(float64(n) / costs.OSSReadBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Plan decides how to read container m to serve the fingerprints in need.
+// It resolves each needed fingerprint to the same record Meta.Find would
+// return (the first, in chunk order), coalesces the resulting payload
+// ranges when the gap between them is cheaper to read through than a new
+// request (gap ≤ latency×bandwidth), and compares the modelled cost of
+// the span reads against one full-object read. Fingerprints absent from m
+// are ignored — the caller resolved the sequence under pins, so absence
+// means the request is served by a different container.
+//
+// The output is deterministic: chunk order drives resolution and span
+// order, so equal (meta, need) inputs always produce the same plan.
+func Plan(m *container.Meta, need map[fingerprint.FP]bool, costs simclock.Costs) ReadPlan {
+	resolved := make(map[fingerprint.FP]bool, len(need))
+	var idxs []int
+	for i := range m.Chunks {
+		fp := m.Chunks[i].FP
+		if need[fp] && !resolved[fp] {
+			resolved[fp] = true
+			idxs = append(idxs, i)
+		}
+	}
+	var p ReadPlan
+	fullBytes := int64(m.DataSize) + container.FooterSize
+	p.FullCost = readCost(costs, 1, fullBytes)
+	if len(idxs) == 0 {
+		// Nothing needed here; degenerate full plan so callers that fetch
+		// anyway still behave.
+		p.Full = true
+		p.RangedCost = p.FullCost
+		return p
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		ca, cb := &m.Chunks[idxs[a]], &m.Chunks[idxs[b]]
+		if ca.Offset != cb.Offset {
+			return ca.Offset < cb.Offset
+		}
+		return idxs[a] < idxs[b]
+	})
+
+	gap := coalesceGap(costs)
+	var spans []container.Span
+	for _, i := range idxs {
+		cm := &m.Chunks[i]
+		off, end := int64(cm.Offset), int64(cm.Offset)+int64(cm.Size)
+		p.NeedBytes += int64(cm.Size)
+		if n := len(spans); n > 0 {
+			last := &spans[n-1]
+			lastEnd := last.Off + last.Len
+			if off <= lastEnd+gap {
+				if end > lastEnd {
+					last.Len = end - last.Off
+				}
+				last.Chunks = append(last.Chunks, i)
+				continue
+			}
+		}
+		spans = append(spans, container.Span{Off: off, Len: end - off, Chunks: []int{i}})
+	}
+	for i := range spans {
+		p.SpanBytes += spans[i].Len
+	}
+	p.RangedCost = readCost(costs, len(spans), p.SpanBytes)
+	// Ranged must beat full by a clear margin, not a hair: with the gap
+	// threshold at the latency/bandwidth break-even, greedy coalescing
+	// makes RangedCost ≤ FullCost almost always, but a full object is
+	// admissible to the node-wide shared cache and reusable by every
+	// concurrent job, while span reads serve only this need-set. The bias
+	// keeps near-dense restores on the shareable path.
+	if p.RangedCost < p.FullCost-p.FullCost/8 {
+		p.Spans = spans
+	} else {
+		p.Full = true
+	}
+	return p
+}

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/simclock"
+)
+
+// planMeta builds a meta of n contiguous chunks of the given size.
+func planMeta(n int, size uint32) *container.Meta {
+	m := &container.Meta{ID: 42}
+	for i := 0; i < n; i++ {
+		var fp fingerprint.FP
+		fp[0], fp[1], fp[2] = byte(i>>16), byte(i>>8), byte(i)
+		fp[4] = 0xA5 // distinguish from the zero FP
+		m.Chunks = append(m.Chunks, container.ChunkMeta{FP: fp, Offset: uint32(i) * size, Size: size})
+	}
+	m.DataSize = uint32(n) * size
+	return m
+}
+
+func needOf(m *container.Meta, idxs ...int) map[fingerprint.FP]bool {
+	need := make(map[fingerprint.FP]bool)
+	for _, i := range idxs {
+		need[m.Chunks[i].FP] = true
+	}
+	return need
+}
+
+func TestPlanSparsePicksRangedAndCoversNeeds(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	// 1024 × 4 KiB = 4 MiB container; need 3 chunks far apart: three tiny
+	// spans (3 × 2 ms + 12 KiB/bw) beat one full read (2 ms + 4 MiB/bw ≈ 102 ms).
+	m := planMeta(1024, 4096)
+	need := needOf(m, 10, 500, 1000)
+	p := Plan(m, need, costs)
+	if p.Full {
+		t.Fatalf("sparse need chose a full read (full=%v ranged=%v)", p.FullCost, p.RangedCost)
+	}
+	if len(p.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(p.Spans), p.Spans)
+	}
+	if p.RangedCost >= p.FullCost {
+		t.Fatalf("ranged cost %v not below full cost %v", p.RangedCost, p.FullCost)
+	}
+	if p.NeedBytes != 3*4096 || p.SpanBytes != 3*4096 {
+		t.Fatalf("need=%d span=%d bytes, want 12288 each", p.NeedBytes, p.SpanBytes)
+	}
+	// Each span must carry exactly its needed chunk, within bounds.
+	for i, want := range []int{10, 500, 1000} {
+		sp := p.Spans[i]
+		if len(sp.Chunks) != 1 || sp.Chunks[0] != want {
+			t.Fatalf("span %d chunks %v, want [%d]", i, sp.Chunks, want)
+		}
+		cm := m.Chunks[want]
+		if sp.Off != int64(cm.Offset) || sp.Len != int64(cm.Size) {
+			t.Fatalf("span %d [%d,+%d) does not match chunk [%d,+%d)", i, sp.Off, sp.Len, cm.Offset, cm.Size)
+		}
+	}
+}
+
+func TestPlanScatteredNeedPicksFull(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	// Need every 12th chunk of a 512 × 8 KiB container: gaps of 88 KiB sit
+	// just above the ~80 KiB coalesce threshold, so nothing merges and the
+	// ~43 per-span request latencies (~94 ms) land within the full-read
+	// bias margin of the single 102 ms full read — the planner must prefer
+	// the full (shareable) object.
+	m := planMeta(512, 8192) // 4 MiB
+	var idxs []int
+	for i := 0; i < 512; i += 12 {
+		idxs = append(idxs, i)
+	}
+	p := Plan(m, needOf(m, idxs...), costs)
+	if !p.Full {
+		t.Fatalf("%d scattered spans (cost %v) should lose to one full read (%v)", len(p.Spans), p.RangedCost, p.FullCost)
+	}
+	if len(p.Spans) != 0 {
+		t.Fatalf("full plan still carries %d spans", len(p.Spans))
+	}
+}
+
+func TestPlanCoalescesSmallGaps(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	gap := int64(costs.OSSRequestLatency.Seconds() * costs.OSSReadBandwidth) // ~80 KiB
+
+	// Chunks 4 KiB each; need two chunks whose gap is below the threshold
+	// → one span reading through the gap.
+	m := planMeta(1024, 4096)
+	a, b := 100, 100+int(gap/4096) // gap = (b-a-1)*4096 < gap threshold
+	p := Plan(m, needOf(m, a, b), costs)
+	if p.Full || len(p.Spans) != 1 {
+		t.Fatalf("close chunks not coalesced: full=%v spans=%+v", p.Full, p.Spans)
+	}
+	sp := p.Spans[0]
+	if !reflect.DeepEqual(sp.Chunks, []int{a, b}) {
+		t.Fatalf("span chunks %v, want [%d %d]", sp.Chunks, a, b)
+	}
+	wantLen := int64(m.Chunks[b].Offset+m.Chunks[b].Size) - int64(m.Chunks[a].Offset)
+	if sp.Off != int64(m.Chunks[a].Offset) || sp.Len != wantLen {
+		t.Fatalf("span [%d,+%d), want [%d,+%d)", sp.Off, sp.Len, m.Chunks[a].Offset, wantLen)
+	}
+	if p.SpanBytes != wantLen || p.NeedBytes != 2*4096 {
+		t.Fatalf("span=%d (want %d) need=%d (want %d)", p.SpanBytes, wantLen, p.NeedBytes, 2*4096)
+	}
+
+	// Push the two chunks past the threshold → two spans.
+	far := a + int(gap/4096) + 2
+	p = Plan(m, needOf(m, a, far), costs)
+	if p.Full || len(p.Spans) != 2 {
+		t.Fatalf("distant chunks wrongly coalesced: full=%v spans=%+v", p.Full, p.Spans)
+	}
+}
+
+func TestPlanDuplicateFingerprintResolvesFirstRecord(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	m := planMeta(64, 4096)
+	m.Chunks[40].FP = m.Chunks[3].FP // duplicate: Find would return index 3
+	p := Plan(m, needOf(m, 40), costs)
+	if p.Full {
+		t.Fatal("single-chunk need planned a full read")
+	}
+	if len(p.Spans) != 1 || len(p.Spans[0].Chunks) != 1 || p.Spans[0].Chunks[0] != 3 {
+		t.Fatalf("duplicate fp resolved to %+v, want chunk index 3 (the first record, as Find returns)", p.Spans)
+	}
+}
+
+func TestPlanIgnoresAbsentFingerprintsAndEmptyNeed(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	m := planMeta(32, 4096)
+	var absent fingerprint.FP
+	absent[0] = 0xFF
+	p := Plan(m, map[fingerprint.FP]bool{absent: true}, costs)
+	if !p.Full {
+		t.Fatal("nothing resolvable must degrade to a full plan")
+	}
+	p = Plan(m, nil, costs)
+	if !p.Full || p.RangedCost != p.FullCost {
+		t.Fatalf("empty need: %+v", p)
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	costs := simclock.DefaultCosts()
+	m := planMeta(256, 4096)
+	need := needOf(m, 7, 8, 9, 64, 65, 200, 13, 99, 150, 151)
+	first := Plan(m, need, costs)
+	for i := 0; i < 16; i++ {
+		if got := Plan(m, need, costs); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: plan differs:\n%+v\nvs\n%+v", i, got, first)
+		}
+	}
+}

@@ -73,7 +73,9 @@ func NewPrefetcher(fetch Fetcher, seq []Request, threads, buffer int) *Prefetche
 		p.wg.Add(1)
 		go p.worker()
 	}
+	p.wg.Add(1)
 	go func() {
+		defer p.wg.Done()
 		defer close(p.jobs)
 		for _, id := range order {
 			// Acquire the buffer slot in dispatch order so an early
@@ -132,7 +134,19 @@ func (p *Prefetcher) Fetch(id container.ID) (*container.Container, error) {
 		// consumed slot without spending a buffer token.
 		return p.fetch(id)
 	}
-	<-s.done
+	select {
+	case <-s.done:
+	case <-p.stop:
+		// Shutdown race: the feeder marks a slot dispatched before handing
+		// it to a worker, so Close can strand a dispatched slot whose done
+		// channel will never close. Fall back to a direct fetch unless the
+		// worker did complete it.
+		select {
+		case <-s.done:
+		default:
+			return p.fetch(id)
+		}
+	}
 	<-p.sem // free the buffer slot
 	return s.c, s.err
 }

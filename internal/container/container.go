@@ -18,10 +18,12 @@
 package container
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"slimstore/internal/fingerprint"
 )
@@ -86,6 +88,41 @@ type Meta struct {
 	Version  uint32 // on-wire format version; 0 is treated as current
 	Chunks   []ChunkMeta
 	DataSize uint32 // payload bytes including deleted chunks
+
+	// fpIdx is a permutation of chunk indexes sorted by (FP, index),
+	// giving Find a binary search instead of a linear scan. It is built
+	// once — DecodeMeta and Seal, both single-goroutine points after
+	// which Chunks no longer gains or reorders records — and never
+	// mutated, so Meta value copies share it safely. Deletion marks only
+	// flip Chunks[i].Deleted in place, which the index is insensitive
+	// to. nil falls back to the linear scan (hand-built metas, tiny
+	// directories).
+	fpIdx []int32
+}
+
+// findIndexMin is the chunk count at which building the Find index pays
+// for itself; below it the linear scan wins on constant factors.
+const findIndexMin = 16
+
+// buildFindIndex (re)builds the sorted fingerprint permutation. Callers
+// must not be sharing m with other goroutines yet.
+func (m *Meta) buildFindIndex() {
+	if len(m.Chunks) < findIndexMin {
+		m.fpIdx = nil
+		return
+	}
+	idx := make([]int32, len(m.Chunks))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := &m.Chunks[idx[a]], &m.Chunks[idx[b]]
+		if c := bytes.Compare(ca.FP[:], cb.FP[:]); c != 0 {
+			return c < 0
+		}
+		return idx[a] < idx[b] // stable on duplicates: Find returns the first
+	})
+	m.fpIdx = idx
 }
 
 // Checksummed reports whether the container carries per-chunk checksums
@@ -93,7 +130,20 @@ type Meta struct {
 func (m *Meta) Checksummed() bool { return m.Version != MetaV1 }
 
 // Find returns the metadata of the chunk with fingerprint fp, or nil.
+// With duplicates the record with the lowest chunk index wins (matching
+// the historical linear scan). It sits on the restore redirect path and
+// inside the ranged-read planner, so decoded metas answer it via a
+// binary search over the build-once fingerprint index.
 func (m *Meta) Find(fp fingerprint.FP) *ChunkMeta {
+	if m.fpIdx != nil {
+		i := sort.Search(len(m.fpIdx), func(i int) bool {
+			return bytes.Compare(m.Chunks[m.fpIdx[i]].FP[:], fp[:]) >= 0
+		})
+		if i < len(m.fpIdx) && m.Chunks[m.fpIdx[i]].FP == fp {
+			return &m.Chunks[m.fpIdx[i]]
+		}
+		return nil
+	}
 	for i := range m.Chunks {
 		if m.Chunks[i].FP == fp {
 			return &m.Chunks[i]
@@ -318,6 +368,7 @@ func DecodeMeta(b []byte) (*Meta, error) {
 		}
 		off += wire
 	}
+	m.buildFindIndex()
 	return m, nil
 }
 

@@ -1,0 +1,120 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"slimstore/internal/fingerprint"
+)
+
+// findLinear is the reference implementation the indexed Find must match.
+func findLinear(m *Meta, fp fingerprint.FP) *ChunkMeta {
+	for i := range m.Chunks {
+		if m.Chunks[i].FP == fp {
+			return &m.Chunks[i]
+		}
+	}
+	return nil
+}
+
+// metaWithChunks builds a decoded meta with n random chunks (so the find
+// index is present for n >= findIndexMin).
+func metaWithChunks(t *testing.T, n int, seed int64) *Meta {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := &Meta{ID: 7}
+	off := uint32(0)
+	for i := 0; i < n; i++ {
+		var fp fingerprint.FP
+		rng.Read(fp[:])
+		size := uint32(rng.Intn(900) + 100)
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: fp, Offset: off, Size: size, Deleted: i%5 == 0})
+		off += size
+	}
+	m.DataSize = off
+	got, err := DecodeMeta(EncodeMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFindIndexMatchesLinearScan(t *testing.T) {
+	for _, n := range []int{0, 1, findIndexMin - 1, findIndexMin, 100, 1000} {
+		m := metaWithChunks(t, n, int64(n)+1)
+		if n >= findIndexMin && m.fpIdx == nil {
+			t.Fatalf("n=%d: decoded meta missing find index", n)
+		}
+		if n < findIndexMin && m.fpIdx != nil {
+			t.Fatalf("n=%d: tiny meta built an index", n)
+		}
+		// Every present fingerprint resolves to the same record.
+		for i := range m.Chunks {
+			fp := m.Chunks[i].FP
+			if got, want := m.Find(fp), findLinear(m, fp); got != want {
+				t.Fatalf("n=%d chunk %d: Find returned %p, linear scan %p", n, i, got, want)
+			}
+		}
+		// Absent fingerprints miss.
+		var absent fingerprint.FP
+		absent[0] = 0xFF
+		if m.Find(absent) != findLinear(m, absent) {
+			t.Fatalf("n=%d: absent fingerprint disagreement", n)
+		}
+	}
+}
+
+func TestFindIndexDuplicatesReturnFirstRecord(t *testing.T) {
+	m := &Meta{ID: 3}
+	fp, _ := chunkOf(99, 8)
+	for i := 0; i < findIndexMin+8; i++ {
+		cfp := fp
+		if i%2 == 1 { // interleave distinct fps so the dup isn't trivial
+			cfp, _ = chunkOf(int64(i), 8)
+		}
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: cfp, Offset: uint32(i * 10), Size: 10})
+	}
+	m.DataSize = uint32(len(m.Chunks) * 10)
+	got, err := DecodeMeta(EncodeMeta(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := got.Find(fp); cm == nil || cm.Offset != 0 {
+		t.Fatalf("Find on duplicate fp returned %+v, want the first record (offset 0)", cm)
+	}
+}
+
+// BenchmarkMetaFind pits the indexed Find against the linear scan on a
+// full-container-sized directory (4 MiB / 4 KiB chunks = 1024 records),
+// the shape the restore redirect path and the ranged-read planner probe.
+func BenchmarkMetaFind(b *testing.B) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(7))
+	m := &Meta{ID: 7}
+	fps := make([]fingerprint.FP, n)
+	for i := 0; i < n; i++ {
+		rng.Read(fps[i][:])
+		m.Chunks = append(m.Chunks, ChunkMeta{FP: fps[i], Offset: uint32(i * 4096), Size: 4096})
+	}
+	m.DataSize = n * 4096
+	dec, err := DecodeMeta(EncodeMeta(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bm := range []struct {
+		name string
+		meta *Meta
+	}{
+		{"indexed", dec},
+		{"linear", m}, // hand-built meta: no index, legacy scan
+	} {
+		b.Run(fmt.Sprintf("%s/%dchunks", bm.name, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if bm.meta.Find(fps[i%n]) == nil {
+					b.Fatal("present fingerprint missed")
+				}
+			}
+		})
+	}
+}

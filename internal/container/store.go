@@ -40,6 +40,30 @@ type storeShared struct {
 	mu        sync.Mutex
 	metaCache map[ID]*Meta // small write-through cache of container metadata
 	metaCap   int
+	inval     []func(ID) // invalidation subscribers (shared restore cache)
+}
+
+// OnInvalidate registers fn to run after any operation that changes or
+// drops a container's objects (Write, WriteMeta, PutRaw, Quarantine,
+// Delete, InvalidateMeta) — the hook the node-wide shared restore cache
+// uses to drop stale entries. Callbacks run outside the store's internal
+// lock and must not call back into the store. Register at open time,
+// before the store sees concurrent use.
+func (s *Store) OnInvalidate(fn func(ID)) {
+	s.shared.mu.Lock()
+	s.shared.inval = append(s.shared.inval, fn)
+	s.shared.mu.Unlock()
+}
+
+// notifyInvalidate fans one container's change out to the subscribers,
+// outside the store lock.
+func (s *Store) notifyInvalidate(id ID) {
+	s.shared.mu.Lock()
+	fns := s.shared.inval
+	s.shared.mu.Unlock()
+	for _, fn := range fns {
+		fn(id)
+	}
 }
 
 // NewStore opens a container store over the given OSS store. capacity <= 0
@@ -107,6 +131,7 @@ func (c *Container) Seal() error {
 		}
 		cm.Sum = ChecksumOf(data)
 	}
+	c.Meta.buildFindIndex()
 	return nil
 }
 
@@ -127,6 +152,7 @@ func (s *Store) Write(c *Container) error {
 		return fmt.Errorf("container %s: write meta: %w", c.Meta.ID, err)
 	}
 	s.cacheMeta(&c.Meta)
+	s.notifyInvalidate(c.Meta.ID)
 	return nil
 }
 
@@ -192,6 +218,7 @@ func (s *Store) PutRaw(id ID, encData, encMeta []byte) error {
 	s.shared.mu.Lock()
 	delete(s.shared.metaCache, id)
 	s.shared.mu.Unlock()
+	s.notifyInvalidate(id)
 	return nil
 }
 
@@ -222,6 +249,7 @@ func (s *Store) WriteMeta(m *Meta) error {
 		return fmt.Errorf("container %s: write meta: %w", m.ID, err)
 	}
 	s.cacheMeta(m)
+	s.notifyInvalidate(m.ID)
 	return nil
 }
 
@@ -278,6 +306,7 @@ func (s *Store) Quarantine(id ID) error {
 	s.shared.mu.Lock()
 	delete(s.shared.metaCache, id)
 	s.shared.mu.Unlock()
+	s.notifyInvalidate(id)
 	return nil
 }
 
@@ -292,6 +321,7 @@ func (s *Store) Delete(id ID) error {
 	s.shared.mu.Lock()
 	delete(s.shared.metaCache, id)
 	s.shared.mu.Unlock()
+	s.notifyInvalidate(id)
 	return nil
 }
 
@@ -325,6 +355,7 @@ func (s *Store) InvalidateMeta(id ID) {
 	s.shared.mu.Lock()
 	delete(s.shared.metaCache, id)
 	s.shared.mu.Unlock()
+	s.notifyInvalidate(id)
 }
 
 func (s *Store) cacheMeta(m *Meta) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"slimstore/internal/cache"
 	"slimstore/internal/chunker"
 	"slimstore/internal/container"
 	"slimstore/internal/fingerprint"
@@ -85,6 +86,15 @@ type Config struct {
 	// restore on any mismatch (end-to-end integrity at fingerprinting
 	// cost).
 	VerifyRestore bool
+	// SharedCacheBytes budgets the node-wide restore container cache
+	// shared by all concurrent jobs (DESIGN.md §10). 0 selects the
+	// default (256 MiB); negative disables the cache and singleflight
+	// entirely, making every job fetch for itself.
+	SharedCacheBytes int64
+	// DisableRangedReads turns off the cost-model ranged-read planner, so
+	// every container fetch reads the full object (the pre-planner
+	// behaviour; the restoreio benchmark uses this as its baseline).
+	DisableRangedReads bool
 
 	// PackWorkers is the number of background workers sealing and
 	// uploading filled containers while the dedup loop keeps running (the
@@ -219,6 +229,12 @@ type Repo struct {
 	// containers they read, physical rewrites take the write side.
 	CLocks ContainerLocks
 
+	// RestoreIO is the node-wide shared restore container cache
+	// (singleflight fetches + bounded reference-counted caching across
+	// jobs); nil when Config.SharedCacheBytes is negative. Container
+	// mutations invalidate it via the store's OnInvalidate hook.
+	RestoreIO *cache.Shared
+
 	// maintEpoch counts committed maintenance mutations (rewrites, drops,
 	// compactions, GC, reverse-dedup/scrub commits). Backups never bump
 	// it. G-node's parallel passes scan and probe OUTSIDE maintMu at a
@@ -268,6 +284,10 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 		SimIndex:   si,
 		Global:     gi,
 		Journal:    js,
+	}
+	if cfg.SharedCacheBytes >= 0 {
+		r.RestoreIO = cache.NewShared(cfg.SharedCacheBytes)
+		cs.OnInvalidate(r.RestoreIO.Invalidate)
 	}
 	// Roll forward any reorganisation a previous process crashed in the
 	// middle of, before this process does new work against the repo.

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"slimstore/internal/cache"
 	"slimstore/internal/container"
 	"slimstore/internal/core"
 	"slimstore/internal/gnode"
@@ -241,6 +242,15 @@ func (e *Engine) Stats() Stats {
 		Failed:    e.failed.Load(),
 		Cancelled: e.cancelled.Load(),
 	}
+}
+
+// SharedCacheStats snapshots the node-wide restore cache the engine's
+// restore jobs share (zero value when Config.SharedCacheBytes disabled it).
+func (e *Engine) SharedCacheStats() cache.SharedStats {
+	if e.repo.RestoreIO == nil {
+		return cache.SharedStats{}
+	}
+	return e.repo.RestoreIO.Stats()
 }
 
 // host is one worker goroutine: it owns one L-node for its lifetime and

@@ -91,6 +91,11 @@ func TestVerifyRestoreCatchesCorruption(t *testing.T) {
 	cfg := testConfig()
 	cfg.VerifyRestore = true
 	cfg.PrefetchThreads = 0
+	// The clean control restore below would populate the node-wide shared
+	// cache, and the post-corruption restore would then (correctly) serve
+	// clean bytes from memory without touching OSS. This test is about
+	// detection on read, so make every restore read the store.
+	cfg.SharedCacheBytes = -1
 	repo, err := core.OpenRepo(faulty, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"slimstore/internal/cache"
-	"slimstore/internal/container"
 	"slimstore/internal/simclock"
 )
 
@@ -38,7 +37,7 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 		end = off + length
 	}
 
-	full, redirects, _, release, err := n.pinSequence(containers, r, acct)
+	full, redirects, _, metas, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}
@@ -83,9 +82,12 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 	if err != nil {
 		return nil, err
 	}
-	fetch := cache.Fetcher(func(id container.ID) (*container.Container, error) {
-		return containers.Read(id)
-	})
+	// The need-set comes from the windowed sequence, so the planner reads
+	// only the spans covering the requested byte range — partial recovery
+	// is the sparsest restore shape there is.
+	rio := newRestoreIO(n, containers, seq, metas)
+	defer rio.close()
+	fetch := cache.Fetcher(rio.fetch)
 
 	want := end - off
 	var written int64
@@ -115,6 +117,7 @@ func (n *LNode) RestoreRange(fileID string, version int, off, length int64, w io
 	}
 	stats.Bytes = written
 	stats.Cache = cstats
+	rio.addTo(&stats.Cache)
 	stats.Elapsed = acct.ElapsedSequential()
 	return stats, nil
 }

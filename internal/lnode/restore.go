@@ -63,7 +63,7 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 		Account:         acct,
 	}
 
-	seq, redirects, rst, release, err := n.pinSequence(containers, r, acct)
+	seq, redirects, rst, metas, release, err := n.pinSequence(containers, r, acct)
 	if err != nil {
 		return nil, err
 	}
@@ -80,9 +80,12 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 		return nil, err
 	}
 
-	fetch := cache.Fetcher(func(id container.ID) (*container.Container, error) {
-		return containers.Read(id)
-	})
+	// All container reads go through the node-level restore I/O layer:
+	// shared cache + singleflight across jobs, cost-model ranged reads for
+	// sparse need-sets (DESIGN.md §10).
+	rio := newRestoreIO(n, containers, seq, metas)
+	defer rio.close()
+	fetch := cache.Fetcher(rio.fetch)
 	threads := cfg.PrefetchThreads
 	if threads > 0 && cfg.RestorePolicy == "fv" {
 		pf := cache.NewPrefetcher(fetch, seq, threads, threads*2)
@@ -114,6 +117,7 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 	stats.Cache = cstats
 	stats.Cache.ResolveMetaReads = rst.metaReads
 	stats.Cache.ResolveMetaMemoHits = rst.memoHits
+	rio.addTo(&stats.Cache)
 	if threads > 0 {
 		// LAW prefetching overlaps OSS reads with the restore pipeline
 		// across `threads` parallel channels (§V-A, Table II).
@@ -132,27 +136,31 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 // during the window we release, adopt the new set, and retry. Pins are
 // shared read-locks taken in sorted stripe order (core.ContainerLocks.Pin),
 // so concurrent restores never deadlock and rewrites wait, not fail.
-func (n *LNode) pinSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, func(), error) {
-	seq, _, total, err := n.resolveSequence(containers, r, acct)
+// It also returns the metadata memo of the final (pinned) resolution
+// pass: the exact container states the sequence was resolved against,
+// which the restore I/O layer plans its ranged reads from without
+// re-reading any metadata.
+func (n *LNode) pinSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, map[container.ID]*container.Meta, func(), error) {
+	seq, _, total, _, err := n.resolveSequence(containers, r, acct)
 	if err != nil {
-		return nil, 0, resolveStats{}, nil, err
+		return nil, 0, resolveStats{}, nil, nil, err
 	}
 	const maxAttempts = 8
 	for attempt := 0; ; attempt++ {
 		release := n.repo.CLocks.Pin(requestContainers(seq))
-		seq2, redirects2, rst, err := n.resolveSequence(containers, r, acct)
+		seq2, redirects2, rst, metas, err := n.resolveSequence(containers, r, acct)
 		total.metaReads += rst.metaReads
 		total.memoHits += rst.memoHits
 		if err != nil {
 			release()
-			return nil, 0, resolveStats{}, nil, err
+			return nil, 0, resolveStats{}, nil, nil, err
 		}
 		if sameContainers(seq, seq2) {
-			return seq2, redirects2, total, release, nil
+			return seq2, redirects2, total, metas, release, nil
 		}
 		release()
 		if attempt+1 >= maxAttempts {
-			return nil, 0, resolveStats{}, nil, fmt.Errorf("lnode: restore %s v%d: container set unstable after %d attempts",
+			return nil, 0, resolveStats{}, nil, nil, fmt.Errorf("lnode: restore %s v%d: container set unstable after %d attempts",
 				r.FileID, r.Version, maxAttempts)
 		}
 		seq = seq2
@@ -196,7 +204,7 @@ type resolveStats struct {
 // only: pinSequence re-resolves after pinning precisely to observe any
 // maintenance that slid in, and a memo surviving between the passes
 // would blind that revalidation.
-func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, error) {
+func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, acct *simclock.Account) ([]cache.Request, int, resolveStats, map[container.ID]*container.Meta, error) {
 	seq := make([]cache.Request, 0, r.NumChunks())
 	redirects := 0
 	var rst resolveStats
@@ -235,6 +243,7 @@ func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, a
 				}
 				req.Container = id
 				redirects++
+				readMeta(id) // memoize the redirect target for the read planner
 			}
 		default:
 			// Container gone entirely (compacted away): redirect.
@@ -251,12 +260,13 @@ func (n *LNode) resolveSequence(containers *container.Store, r *recipe.Recipe, a
 			}
 			req.Container = id
 			redirects++
+			readMeta(id) // memoize the redirect target for the read planner
 		}
 		seq = append(seq, req)
 		return true
 	})
 	if iterErr != nil {
-		return nil, 0, resolveStats{}, iterErr
+		return nil, 0, resolveStats{}, nil, iterErr
 	}
-	return seq, redirects, rst, nil
+	return seq, redirects, rst, memo, nil
 }

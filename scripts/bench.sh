@@ -12,5 +12,6 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 
 go test -run '^$' -bench '^BenchmarkCutters$' -benchtime "$BENCHTIME" ./internal/chunker/
+go test -run '^$' -bench '^BenchmarkMetaFind$' -benchtime "$BENCHTIME" ./internal/container/
 go test -run '^$' -bench '^BenchmarkFingerprint$' -benchtime "$BENCHTIME" ./internal/fingerprint/
 go test -run '^$' -bench '^Benchmark(KVPut|KVGet|KVBatchPut|KVGetMulti)$' -benchtime "$BENCHTIME" ./internal/kvstore/

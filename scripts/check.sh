@@ -20,6 +20,11 @@ go test -race ./...
 # the gate without costing real measurement time.
 BENCHTIME=1x sh ./scripts/bench.sh
 
+# Restore I/O layer experiment smoke: the sweep is virtual-time and
+# sub-second, so run it whole as a does-it-still-run check for the
+# BENCH_restoreio.json artifact (discarded here; CI uploads the real one).
+BENCH_RESTOREIO_OUT=/dev/null go run ./cmd/slimbench -exp restoreio >/dev/null
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
