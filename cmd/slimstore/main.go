@@ -21,7 +21,9 @@
 //
 // Any subcommand additionally accepts -pprof <path>: a CPU profile of
 // the whole run is written there, for profiling maintenance commands
-// (scrub, gc) against real repositories.
+// (scrub, gc) against real repositories. -shards N and -replicas M
+// select the global-index topology (DESIGN §11); every command against
+// a repository must use the same values it was created with.
 package main
 
 import (
@@ -37,8 +39,18 @@ import (
 	"slimstore"
 )
 
+// Repository topology shared by every subcommand; set from the -shards
+// and -replicas flags before openSystem runs. The values must match the
+// repository's existing layout (they pick the on-store key prefixes).
+var (
+	globalShards   = 1
+	globalReplicas = 1
+)
+
 func openSystem(repo string) (*slimstore.System, error) {
 	cfg := slimstore.DefaultConfig()
+	cfg.GlobalShards = globalShards
+	cfg.GlobalReplicas = globalReplicas
 	switch {
 	case strings.HasPrefix(repo, "dir:"):
 		return slimstore.OpenDirectory(strings.TrimPrefix(repo, "dir:"), cfg)
@@ -110,6 +122,8 @@ func main() {
 	defer stopProfile()
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	repo := fs.String("repo", "dir:./slimstore-repo", "repository location")
+	fs.IntVar(&globalShards, "shards", 1, "global index shards (must match the repository layout)")
+	fs.IntVar(&globalReplicas, "replicas", 1, "replicas per index shard (2f+1; must match the repository layout)")
 
 	switch cmd {
 	case "backup":

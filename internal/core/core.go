@@ -14,8 +14,10 @@ import (
 	"slimstore/internal/fingerprint"
 	"slimstore/internal/globalindex"
 	"slimstore/internal/journal"
+	"slimstore/internal/kvstore"
 	"slimstore/internal/oss"
 	"slimstore/internal/recipe"
+	"slimstore/internal/repl"
 	"slimstore/internal/simclock"
 	"slimstore/internal/simindex"
 )
@@ -113,6 +115,22 @@ type Config struct {
 	// width produces bit-identical results — it only changes wall-clock.
 	MaintWorkers int
 
+	// GlobalShards partitions the global fingerprint index by hash
+	// prefix into this many G-shards (DESIGN.md §11); shard operations
+	// proceed concurrently instead of serialising on one LSM mutex.
+	// Default 1 — the original single-G-node layout, byte-compatible
+	// with existing repositories. Maximum 256 (one shard per prefix
+	// byte value).
+	GlobalShards int
+	// GlobalReplicas replicates each index shard across 2f+1 kvstore
+	// instances behind a quorum-committed batch log with leader
+	// failover (internal/repl). Default 1: unreplicated, no
+	// replication log, identical to the pre-repl layout.
+	GlobalReplicas int
+	// GlobalKV tunes each index shard's LSM engine; the shard map
+	// manages key prefixes. Zero values select kvstore defaults.
+	GlobalKV kvstore.Options
+
 	// Costs is the virtual-time cost model.
 	Costs simclock.Costs
 }
@@ -199,6 +217,12 @@ func (c *Config) fillDefaults() {
 	if c.MaintWorkers == 0 {
 		c.MaintWorkers = d.MaintWorkers
 	}
+	if c.GlobalShards <= 0 {
+		c.GlobalShards = 1
+	}
+	if c.GlobalReplicas <= 0 {
+		c.GlobalReplicas = 1
+	}
 	if c.Costs == (simclock.Costs{}) {
 		c.Costs = d.Costs
 	}
@@ -217,7 +241,16 @@ type Repo struct {
 	Containers *container.Store
 	Recipes    *recipe.Store
 	SimIndex   *simindex.Index
-	Global     *globalindex.Index
+	// Global is the (possibly sharded, possibly replicated) global
+	// fingerprint index. With GlobalShards=GlobalReplicas=1 it is one
+	// plain Index behind a pass-through view — the original layout.
+	Global *globalindex.Sharded
+	// ReplGroups holds shard k's replica group when GlobalReplicas > 1
+	// (nil otherwise) — the chaos harness's kill/restart surface.
+	ReplGroups []*repl.Group
+	// ReplDowntime accumulates the virtual failover cost charged by
+	// every shard group (PhaseFailover).
+	ReplDowntime *simclock.Account
 	// Journal is the intent journal for multi-object reorganisations;
 	// OpenRepo replays surviving records before returning.
 	Journal *journal.Store
@@ -268,7 +301,7 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open similar file index: %w", err)
 	}
-	gi, err := globalindex.Open(store, globalindex.Options{})
+	gi, groups, downtime, err := openGlobal(store, &cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: open global index: %w", err)
 	}
@@ -277,13 +310,15 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 		return nil, fmt.Errorf("core: open journal: %w", err)
 	}
 	r := &Repo{
-		Config:     cfg,
-		Base:       store,
-		Containers: cs,
-		Recipes:    recipe.NewStore(store),
-		SimIndex:   si,
-		Global:     gi,
-		Journal:    js,
+		Config:       cfg,
+		Base:         store,
+		Containers:   cs,
+		Recipes:      recipe.NewStore(store),
+		SimIndex:     si,
+		Global:       gi,
+		ReplGroups:   groups,
+		ReplDowntime: downtime,
+		Journal:      js,
 	}
 	if cfg.SharedCacheBytes >= 0 {
 		r.RestoreIO = cache.NewShared(cfg.SharedCacheBytes)
@@ -295,6 +330,75 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 		return nil, fmt.Errorf("core: replay journal: %w", err)
 	}
 	return r, nil
+}
+
+// openGlobal builds the global index for the configured layout. The
+// 1-shard/1-replica default opens the index at the historic "gidx/"
+// prefix — byte-compatible with repositories written before sharding
+// existed. Sharded layouts place shard k at "gidx/s<k>/" (replicas
+// under "gidx/s<k>/n<i>/" with the log at "gidx/s<k>/log/").
+func openGlobal(store oss.Store, cfg *Config) (*globalindex.Sharded, []*repl.Group, *simclock.Account, error) {
+	shards := cfg.GlobalShards
+	if shards > 256 {
+		return nil, nil, nil, fmt.Errorf("GlobalShards %d exceeds the 256 prefix ranges", shards)
+	}
+	bloomPerShard := (1 << 22) / shards
+	if bloomPerShard < 1<<16 {
+		bloomPerShard = 1 << 16
+	}
+	workers := cfg.MaintWorkers
+	if workers < 1 {
+		workers = 1
+	}
+
+	if shards == 1 && cfg.GlobalReplicas == 1 {
+		idx, err := globalindex.Open(store, globalindex.Options{KV: cfg.GlobalKV})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s, err := globalindex.NewSharded([]*globalindex.Index{idx}, workers)
+		return s, nil, nil, err
+	}
+
+	var (
+		idxs     []*globalindex.Index
+		groups   []*repl.Group
+		downtime *simclock.Account
+	)
+	if cfg.GlobalReplicas > 1 {
+		downtime = simclock.NewAccount()
+	}
+	for k := 0; k < shards; k++ {
+		prefix := fmt.Sprintf("gidx/s%d/", k)
+		opts := globalindex.Options{BloomCapacity: bloomPerShard}
+		var idx *globalindex.Index
+		if cfg.GlobalReplicas > 1 {
+			grp, err := repl.Open(store, repl.Options{
+				Replicas: cfg.GlobalReplicas,
+				Prefix:   prefix,
+				KV:       cfg.GlobalKV,
+				Downtime: downtime,
+			})
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("shard %d: %w", k, err)
+			}
+			groups = append(groups, grp)
+			if idx, err = globalindex.OpenBackend(grp, opts); err != nil {
+				return nil, nil, nil, fmt.Errorf("shard %d: %w", k, err)
+			}
+		} else {
+			kv := cfg.GlobalKV
+			kv.Prefix = prefix
+			opts.KV = kv
+			var err error
+			if idx, err = globalindex.Open(store, opts); err != nil {
+				return nil, nil, nil, fmt.Errorf("shard %d: %w", k, err)
+			}
+		}
+		idxs = append(idxs, idx)
+	}
+	s, err := globalindex.NewSharded(idxs, workers)
+	return s, groups, downtime, err
 }
 
 // Metered returns an OSS view charging acct under the repo's cost model.

@@ -46,11 +46,28 @@ type bloomShard struct {
 	n     int64
 }
 
+// Backend is the persistent KV engine an Index runs on: a plain
+// kvstore.DB for the single-node layout, or a repl.Group replicating
+// the same operations across a quorum of kvstores. The method set is
+// exactly the slice of the kvstore API the index uses, so the DB
+// satisfies it without adaptation.
+type Backend interface {
+	Put(key, value []byte) error
+	Get(key []byte) (value []byte, found bool, err error)
+	GetMulti(keys [][]byte) (values [][]byte, found []bool, err error)
+	Apply(b *kvstore.Batch) error
+	Delete(key []byte) error
+	Scan(start, end []byte, fn func(key, value []byte) bool) error
+	Flush() error
+	Close() error
+	Stats() kvstore.Stats
+}
+
 // Index is the global fingerprint index. Safe for concurrent use: the
 // bloom filter is sharded by fingerprint prefix (reads take a shard
 // RLock), the stats are atomics, and the LSM store synchronises itself.
 type Index struct {
-	db     *kvstore.DB
+	db     Backend
 	shards [bloomShards]bloomShard
 
 	// Stats.
@@ -78,6 +95,20 @@ func Open(store oss.Store, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("globalindex: %w", err)
 	}
+	return OpenBackend(db, opts)
+}
+
+// OpenBackend opens the index over an already-constructed backend (a
+// replicated group, a pre-tuned kvstore), rebuilding the bloom filter
+// from the persisted entries. Options.KV is ignored — the backend was
+// built with its own engine tuning.
+func OpenBackend(db Backend, opts Options) (*Index, error) {
+	if opts.BloomCapacity <= 0 {
+		opts.BloomCapacity = 1 << 22
+	}
+	if opts.BloomFPRate <= 0 {
+		opts.BloomFPRate = 0.01
+	}
 	x := &Index{db: db}
 	per := opts.BloomCapacity / bloomShards
 	if per < 1024 {
@@ -86,7 +117,7 @@ func Open(store oss.Store, opts Options) (*Index, error) {
 	for i := range x.shards {
 		x.shards[i].bloom = cbf.NewBloom(per, opts.BloomFPRate)
 	}
-	err = db.Scan(nil, nil, func(k, v []byte) bool {
+	err := db.Scan(nil, nil, func(k, v []byte) bool {
 		if len(k) == fingerprint.Size {
 			var fp fingerprint.FP
 			copy(fp[:], k)

@@ -1,0 +1,271 @@
+package globalindex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+)
+
+// Sharded partitions the global fingerprint index by hash prefix into N
+// G-shards (the shared-nothing clustered layout): shard k owns the
+// contiguous fingerprint range where int(fp[0])*N/256 == k, so shard
+// boundaries nest as N grows and a full Scan over shards 0..N-1 visits
+// fingerprints in global order. Each shard is a complete Index — its own
+// bloom stripes, its own backend (a plain kvstore or a replicated
+// group) — so shard operations proceed concurrently instead of
+// serialising on one LSM mutex.
+//
+// With one shard every method delegates straight to it, keeping the
+// single-G-node configuration byte-identical to the unsharded code path.
+type Sharded struct {
+	shards  []*Index
+	workers int
+
+	// ops counts routed operations; the chaos harness registers an OnOp
+	// hook to fire shard-kill/leader-kill schedules at exact op counts
+	// mid-maintenance.
+	ops  atomic.Int64
+	onOp atomic.Value // func(int64)
+}
+
+// NewSharded assembles a sharded view over per-shard indexes (order is
+// the shard map: shards[k] owns prefix range k). workers bounds the
+// per-call shard fan-out; <1 runs shards serially, mirroring the
+// MaintWorkers convention.
+func NewSharded(shards []*Index, workers int) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("globalindex: sharded view needs at least one shard")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Sharded{shards: shards, workers: workers}, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard index (tests, stats drill-down).
+func (s *Sharded) Shard(k int) *Index { return s.shards[k] }
+
+// ShardFor maps a fingerprint to its owning shard: contiguous prefix
+// ranges, so global fingerprint order is the concatenation of the
+// shards' orders.
+func (s *Sharded) ShardFor(fp fingerprint.FP) int {
+	return int(fp[0]) * len(s.shards) / 256
+}
+
+// OnOp registers a hook receiving the running operation count before
+// each routed index operation. The chaos harness uses it to inject
+// faults at deterministic points mid-sweep; the hook may be called from
+// concurrent maintenance workers and must be goroutine-safe.
+func (s *Sharded) OnOp(fn func(n int64)) {
+	s.onOp.Store(fn)
+}
+
+// Ops returns the routed-operation count.
+func (s *Sharded) Ops() int64 { return s.ops.Load() }
+
+func (s *Sharded) step() {
+	n := s.ops.Add(1)
+	if fn, ok := s.onOp.Load().(func(int64)); ok && fn != nil {
+		fn(n)
+	}
+}
+
+// forEachShard runs fn over every shard id across the fan-out pool,
+// returning the first error (remaining dispatches are abandoned).
+func (s *Sharded) forEachShard(fn func(k int) error) error {
+	n := len(s.shards)
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for k := 0; k < n; k++ {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				if err := fn(k); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Put records fp → id on its owning shard.
+func (s *Sharded) Put(fp fingerprint.FP, id container.ID) error {
+	s.step()
+	return s.shards[s.ShardFor(fp)].Put(fp, id)
+}
+
+// Get resolves fp through its owning shard.
+func (s *Sharded) Get(fp fingerprint.FP) (container.ID, bool, error) {
+	s.step()
+	return s.shards[s.ShardFor(fp)].Get(fp)
+}
+
+// Delete removes fp from its owning shard.
+func (s *Sharded) Delete(fp fingerprint.FP) error {
+	s.step()
+	return s.shards[s.ShardFor(fp)].Delete(fp)
+}
+
+// PutBatch splits the entries per shard (preserving relative order, so
+// same-fingerprint conflicts still resolve last-write-wins like the
+// unsharded path) and commits the sub-batches concurrently.
+func (s *Sharded) PutBatch(entries []Entry) error {
+	s.step()
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].PutBatch(entries)
+	}
+	groups := make([][]Entry, len(s.shards))
+	for i := range entries {
+		k := s.ShardFor(entries[i].FP)
+		groups[k] = append(groups[k], entries[i])
+	}
+	return s.forEachShard(func(k int) error {
+		if len(groups[k]) == 0 {
+			return nil
+		}
+		return s.shards[k].PutBatch(groups[k])
+	})
+}
+
+// GetBatch fans the lookup out per shard. Result slices are positional
+// (shard workers write disjoint indexes), so the answer is identical to
+// the unsharded call; bloomSkips is the sum over shards.
+func (s *Sharded) GetBatch(fps []fingerprint.FP) (ids []container.ID, found []bool, bloomSkips int, err error) {
+	s.step()
+	if len(s.shards) == 1 {
+		return s.shards[0].GetBatch(fps)
+	}
+	ids = make([]container.ID, len(fps))
+	found = make([]bool, len(fps))
+	if len(fps) == 0 {
+		return ids, found, 0, nil
+	}
+	groups := make([][]int, len(s.shards))
+	for i := range fps {
+		k := s.ShardFor(fps[i])
+		groups[k] = append(groups[k], i)
+	}
+	skips := make([]int, len(s.shards))
+	err = s.forEachShard(func(k int) error {
+		if len(groups[k]) == 0 {
+			return nil
+		}
+		sub := make([]fingerprint.FP, len(groups[k]))
+		for j, i := range groups[k] {
+			sub[j] = fps[i]
+		}
+		sids, sfound, sskips, serr := s.shards[k].GetBatch(sub)
+		if serr != nil {
+			return serr
+		}
+		for j, i := range groups[k] {
+			ids[i] = sids[j]
+			found[i] = sfound[j]
+		}
+		skips[k] = sskips
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, n := range skips {
+		bloomSkips += n
+	}
+	return ids, found, bloomSkips, nil
+}
+
+// Scan visits all entries in global fingerprint order: shards own
+// contiguous prefix ranges, so visiting them in shard order is key
+// order.
+func (s *Sharded) Scan(fn func(fp fingerprint.FP, id container.ID) bool) error {
+	stopped := false
+	for _, sh := range s.shards {
+		if err := sh.Scan(func(fp fingerprint.FP, id container.ID) bool {
+			if !fn(fp, id) {
+				stopped = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats sums the per-shard snapshots (entries, lookups, bloom skips and
+// the KV engine counters are all additive).
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Entries += st.Entries
+		out.Lookups += st.Lookups
+		out.BloomSkips += st.BloomSkips
+		out.KV.Puts += st.KV.Puts
+		out.KV.Gets += st.KV.Gets
+		out.KV.Deletes += st.KV.Deletes
+		out.KV.BloomNegative += st.KV.BloomNegative
+		out.KV.TableReads += st.KV.TableReads
+		out.KV.BlockCacheHits += st.KV.BlockCacheHits
+		out.KV.Flushes += st.KV.Flushes
+		out.KV.Compactions += st.KV.Compactions
+		out.KV.TablesLive += st.KV.TablesLive
+		out.KV.WALSegments += st.KV.WALSegments
+	}
+	return out
+}
+
+// Flush persists every shard.
+func (s *Sharded) Flush() error {
+	return s.forEachShard(func(k int) error { return s.shards[k].Flush() })
+}
+
+// Close closes every shard, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

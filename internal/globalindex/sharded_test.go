@@ -1,0 +1,205 @@
+package globalindex
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"slimstore/internal/container"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/kvstore"
+	"slimstore/internal/oss"
+	"slimstore/internal/repl"
+)
+
+// testFP fabricates a deterministic fingerprint whose first byte spreads
+// across the shard space.
+func testFP(i int) fingerprint.FP {
+	var fp fingerprint.FP
+	rng := rand.New(rand.NewSource(int64(i)))
+	for j := range fp {
+		fp[j] = byte(rng.Intn(256))
+	}
+	return fp
+}
+
+// openSharded builds an n-shard view over one Mem store, replicas per
+// shard as given (1 = plain kvstore backend).
+func openSharded(t *testing.T, store oss.Store, n, replicas, workers int) *Sharded {
+	t.Helper()
+	shards := make([]*Index, n)
+	for k := 0; k < n; k++ {
+		prefix := fmt.Sprintf("gidx/s%d/", k)
+		var backend Backend
+		if replicas > 1 {
+			g, err := repl.Open(store, repl.Options{Replicas: replicas, Prefix: prefix})
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend = g
+		} else {
+			idx, err := Open(store, Options{KV: kvOpts(prefix), BloomCapacity: 1 << 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[k] = idx
+			continue
+		}
+		idx, err := OpenBackend(backend, Options{BloomCapacity: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[k] = idx
+	}
+	s, err := NewSharded(shards, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardedMatchesSingle drives identical workloads through a single
+// index and sharded views (plain and replicated backends) and demands
+// identical answers, scan order, and entry counts.
+func TestShardedMatchesSingle(t *testing.T) {
+	single, err := Open(oss.NewMem(), Options{BloomCapacity: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleView, err := NewSharded([]*Index{single}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := map[string]*Sharded{
+		"single":      singleView,
+		"4-shard":     openSharded(t, oss.NewMem(), 4, 1, 4),
+		"4-shard-3x":  openSharded(t, oss.NewMem(), 4, 3, 4),
+		"7-shard-ser": openSharded(t, oss.NewMem(), 7, 1, -1),
+	}
+
+	const N = 400
+	var batch []Entry
+	for i := 0; i < N; i++ {
+		batch = append(batch, Entry{FP: testFP(i), ID: container.ID(i)})
+	}
+	for name, v := range views {
+		// Mix batch and single-op writes, then move some, delete some.
+		if err := v.PutBatch(batch[:N/2]); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := N / 2; i < N; i++ {
+			if err := v.Put(batch[i].FP, batch[i].ID); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for i := 0; i < N; i += 7 {
+			if err := v.Put(batch[i].FP, container.ID(i+1000)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for i := 3; i < N; i += 11 {
+			if err := v.Delete(batch[i].FP); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if err := v.Flush(); err != nil {
+			t.Fatalf("%s: flush: %v", name, err)
+		}
+	}
+
+	// Point lookups and batch lookups agree everywhere.
+	fps := make([]fingerprint.FP, N)
+	for i := range fps {
+		fps[i] = batch[i].FP
+	}
+	refIDs, refFound, _, err := views["single"].GetBatch(fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range views {
+		ids, found, _, err := v.GetBatch(fps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(ids, refIDs) || !reflect.DeepEqual(found, refFound) {
+			t.Errorf("%s: GetBatch diverges from single index", name)
+		}
+		for i := 0; i < N; i += 13 {
+			id, ok, err := v.Get(fps[i])
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if ok != refFound[i] || (ok && id != refIDs[i]) {
+				t.Errorf("%s: Get(%d) = (%v,%v), want (%v,%v)", name, i, id, ok, refIDs[i], refFound[i])
+			}
+		}
+	}
+
+	// Scan visits fingerprints in global order on every layout, with
+	// identical content.
+	type pair struct {
+		FP fingerprint.FP
+		ID container.ID
+	}
+	dump := func(v *Sharded) []pair {
+		var out []pair
+		var prev fingerprint.FP
+		first := true
+		if err := v.Scan(func(fp fingerprint.FP, id container.ID) bool {
+			if !first && bytes.Compare(prev[:], fp[:]) >= 0 {
+				t.Fatalf("scan out of order: %s after %s", fp.Short(), prev.Short())
+			}
+			prev, first = fp, false
+			out = append(out, pair{fp, id})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := dump(views["single"])
+	for name, v := range views {
+		if got := dump(v); !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s: scan dump diverges (%d vs %d entries)", name, len(got), len(ref))
+		}
+	}
+
+	// Entry accounting is additive across shards.
+	want := views["single"].Stats().Entries
+	for name, v := range views {
+		if got := v.Stats().Entries; got != want {
+			t.Errorf("%s: entries = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestShardedOnOpHook checks the chaos seam: the hook observes a
+// strictly increasing op count and can act on group state mid-stream.
+func TestShardedOnOpHook(t *testing.T) {
+	s := openSharded(t, oss.NewMem(), 2, 1, 2)
+	var fired int64
+	s.OnOp(func(n int64) {
+		if n == 5 {
+			fired = n
+		}
+	})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(testFP(i), container.ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("hook never saw op 5 (fired=%d)", fired)
+	}
+	if s.Ops() != 10 {
+		t.Fatalf("ops = %d, want 10", s.Ops())
+	}
+}
+
+// kvOpts builds KV options with the given prefix for test shards.
+func kvOpts(prefix string) (o kvstore.Options) {
+	o.Prefix = prefix
+	return o
+}

@@ -37,6 +37,41 @@ func (b *Batch) Len() int { return len(b.entries) }
 // Reset empties the batch for reuse.
 func (b *Batch) Reset() { b.entries = b.entries[:0] }
 
+// Clone returns a deep copy of the batch. The replication layer fans one
+// decoded log record out to every replica and must extend each copy with
+// the replica's own position marker without aliasing key/value bytes.
+func (b *Batch) Clone() *Batch {
+	c := &Batch{entries: make([]entry, len(b.entries))}
+	for i := range b.entries {
+		e := &b.entries[i]
+		c.entries[i] = entry{
+			key:   append([]byte{}, e.key...),
+			value: append([]byte{}, e.value...),
+			kind:  e.kind,
+		}
+	}
+	return c
+}
+
+// Op is one queued batch operation, exposed for callers (replication,
+// tests) that need to inspect a batch without coupling to the internal
+// entry representation.
+type Op struct {
+	Key, Value []byte
+	Delete     bool
+}
+
+// Ops returns the queued operations in application order. The returned
+// slices alias the batch's copies; treat them as read-only.
+func (b *Batch) Ops() []Op {
+	out := make([]Op, len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		out[i] = Op{Key: e.key, Value: e.value, Delete: e.kind == kindDelete}
+	}
+	return out
+}
+
 // Apply commits the batch: one lock acquisition, one WAL record, one
 // memtable insertion pass. Entries receive contiguous sequence numbers in
 // batch order, so a batch that writes the same key twice resolves exactly
@@ -201,19 +236,19 @@ func (db *DB) tableGetMultiLocked(meta tableMeta, refs []keyRef, values [][]byte
 			return nil, err
 		}
 		for _, kr := range byBlock[bi] {
-			resolved := false
-			for i := range entries {
-				if bytes.Equal(entries[i].key, kr.key) {
-					if entries[i].kind != kindDelete {
-						values[kr.pos] = entries[i].value
-						found[kr.pos] = true
-					}
-					resolved = true
-					break
-				}
+			// searchFrom walks past bi when the key's version run spans a
+			// block boundary; follow-up blocks come from the block cache.
+			e, ok, err := r.searchFrom(bi, entries, kr.key)
+			if err != nil {
+				return nil, err
 			}
-			if !resolved {
+			if !ok {
 				miss = append(miss, kr)
+				continue
+			}
+			if e.kind != kindDelete {
+				values[kr.pos] = e.value
+				found[kr.pos] = true
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -228,6 +229,57 @@ func TestBatchCRCCorruptionDetected(t *testing.T) {
 	mem.Put(keys[0], seg)
 	if _, err := Open(mem, smallOpts()); err == nil {
 		t.Fatal("corrupted batch record accepted")
+	}
+}
+
+// TestReplRecordTornDecode extends the torn-batch contract to the
+// replication log: a record torn at ANY byte, bit-flipped anywhere, or
+// followed by trailing garbage must be rejected whole with
+// ErrBadReplRecord — a follower can never apply a partial batch — while
+// the intact record round-trips exactly.
+func TestReplRecordTornDecode(t *testing.T) {
+	var b Batch
+	for i := 0; i < 8; i++ {
+		b.Put([]byte(fmt.Sprintf("fp%04d", i)), bytes.Repeat([]byte{byte(i)}, 24))
+	}
+	b.Delete([]byte("fp0003"))
+	rec := AppendReplRecord(nil, 7, 42, &b)
+
+	term, index, got, err := DecodeReplRecord(rec)
+	if err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if term != 7 || index != 42 || got.Len() != b.Len() {
+		t.Fatalf("round trip = term %d index %d len %d", term, index, got.Len())
+	}
+	if !bytes.Equal(AppendReplRecord(nil, term, index, got), rec) {
+		t.Fatal("decoded record does not re-encode identically")
+	}
+
+	// Every truncation point, including the empty prefix.
+	for cut := 0; cut < len(rec); cut++ {
+		if _, _, tb, err := DecodeReplRecord(rec[:cut]); !errors.Is(err, ErrBadReplRecord) {
+			t.Fatalf("cut at %d: err = %v, want ErrBadReplRecord", cut, err)
+		} else if tb != nil {
+			t.Fatalf("cut at %d: partial batch surfaced", cut)
+		}
+	}
+	// Every single-bit flip: the CRC (or a structural check) must catch it.
+	for pos := 0; pos < len(rec); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, rec...)
+			mut[pos] ^= 1 << bit
+			if _, _, _, err := DecodeReplRecord(mut); err == nil {
+				t.Fatalf("flip at byte %d bit %d accepted", pos, bit)
+			}
+		}
+	}
+	// Trailing bytes after a complete record are garbage, not slack.
+	for _, extra := range [][]byte{{0}, {0xFE}, bytes.Repeat([]byte{0xAA}, 9)} {
+		mut := append(append([]byte{}, rec...), extra...)
+		if _, _, _, err := DecodeReplRecord(mut); !errors.Is(err, ErrBadReplRecord) {
+			t.Fatalf("trailing %d bytes: err = %v, want ErrBadReplRecord", len(extra), err)
+		}
 	}
 }
 

@@ -393,7 +393,6 @@ func (db *DB) tableGetLocked(meta tableMeta, key []byte) (entry, bool, error) {
 		db.stats.BloomNegative++
 		return entry{}, false, nil
 	}
-	db.stats.TableReads++
 	return r.get(key)
 }
 

@@ -353,17 +353,55 @@ func decodeBlockEntries(b []byte) ([]entry, error) {
 	return out, nil
 }
 
-// blockFor returns the index of the data block that may contain key.
+// blockFor returns the index of the first data block that may contain
+// key's newest version, or -1 if the key sorts before every block.
+// Entries are laid out key ASC, seq DESC, so a key with many versions can
+// spill across block boundaries: every later block of the run starts with
+// that same key but holds only its OLDER versions. The newest version
+// therefore lives in the earliest covering block, and callers must keep
+// scanning forward while the next block's firstKey still equals the key
+// (searchFrom does this) — resolving within a single later block returns
+// a stale version.
 func (t *tableReader) blockFor(key []byte) int {
-	// Last block whose firstKey <= key.
+	// First block whose firstKey >= key.
 	i := sort.Search(len(t.index), func(i int) bool {
-		return bytes.Compare(t.index[i].firstKey, key) > 0
+		return bytes.Compare(t.index[i].firstKey, key) >= 0
 	})
-	return i - 1
+	if i > 0 {
+		// Even when block i starts exactly at key, the run may begin at
+		// the tail of block i-1, which then holds the newest version.
+		return i - 1
+	}
+	if len(t.index) > 0 && bytes.Equal(t.index[0].firstKey, key) {
+		return 0
+	}
+	return -1
+}
+
+// searchFrom resolves key given the decoded entries of its first
+// candidate block bi (from blockFor), advancing into following blocks as
+// long as they still start at key. The first match in file order is the
+// newest version.
+func (t *tableReader) searchFrom(bi int, entries []entry, key []byte) (entry, bool, error) {
+	for {
+		for i := range entries {
+			if bytes.Equal(entries[i].key, key) {
+				return entries[i], true, nil
+			}
+		}
+		bi++
+		if bi >= len(t.index) || !bytes.Equal(t.index[bi].firstKey, key) {
+			return entry{}, false, nil
+		}
+		var err error
+		if entries, err = t.blockEntries(bi); err != nil {
+			return entry{}, false, err
+		}
+	}
 }
 
 // get looks up the newest entry for key in this table, consulting the
-// DB-wide block cache before reading the block from OSS.
+// DB-wide block cache before reading blocks from OSS.
 func (t *tableReader) get(key []byte) (entry, bool, error) {
 	if !t.filter.mayContain(key) {
 		return entry{}, false, nil
@@ -372,29 +410,11 @@ func (t *tableReader) get(key []byte) (entry, bool, error) {
 	if bi < 0 {
 		return entry{}, false, nil
 	}
-	h := t.index[bi]
-	ck := blockKey{table: t.meta.Name, off: h.off}
-	entries, cached := t.db.blocks.get(ck)
-	if cached {
-		t.db.stats.BlockCacheHits++
-	} else {
-		blk, err := t.db.store.GetRange(t.db.tableKey(t.meta.Name), int64(h.off), int64(h.n))
-		if err != nil {
-			return entry{}, false, fmt.Errorf("kvstore: read block of %s: %w", t.meta.Name, err)
-		}
-		entries, err = decodeBlockEntries(blk)
-		if err != nil {
-			return entry{}, false, err
-		}
-		t.db.blocks.put(ck, entries, int64(h.n))
+	entries, err := t.blockEntries(bi)
+	if err != nil {
+		return entry{}, false, err
 	}
-	// Entries are in internal order: key ASC, seq DESC → first match wins.
-	for i := range entries {
-		if bytes.Equal(entries[i].key, key) {
-			return entries[i], true, nil
-		}
-	}
-	return entry{}, false, nil
+	return t.searchFrom(bi, entries, key)
 }
 
 // blockEntries returns the decoded entries of data block bi, consulting

@@ -89,6 +89,116 @@ func appendWALBatchRecord(buf []byte, baseSeq uint64, entries []entry) []byte {
 	return append(buf, body...)
 }
 
+// Replication record (internal/repl). The replicated global index stores
+// each committed batch as one log object whose payload reuses the WAL
+// batch-entry body, prefixed with the replication position that orders and
+// fences it:
+//
+//	crc u32 | term u64 | index u64 | 0xFE u8 | count u32 |
+//	  ( kind u8 | klen u32 | key | vlen u32 | value )*
+//
+// The CRC covers everything after the crc field, so a torn or corrupted
+// log object decodes all-or-nothing, exactly like a WAL batch record.
+
+// replRecordKind marks a replication log record. Distinct from
+// walBatchKind so a repl record can never be mistaken for a WAL segment
+// record and vice versa.
+const replRecordKind = 0xFE
+
+// ErrBadReplRecord reports a replication log record that failed
+// validation (truncated, corrupt, or not a repl record at all).
+var ErrBadReplRecord = errors.New("kvstore: bad replication record")
+
+// AppendReplRecord encodes batch b as one replication log record stamped
+// with (term, index) and appends it to buf.
+func AppendReplRecord(buf []byte, term, index uint64, b *Batch) []byte {
+	size := 21
+	for i := range b.entries {
+		size += 9 + len(b.entries[i].key) + len(b.entries[i].value)
+	}
+	body := make([]byte, 0, size)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], term)
+	body = append(body, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], index)
+	body = append(body, tmp[:]...)
+	body = append(body, replRecordKind)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(b.entries)))
+	body = append(body, tmp[:4]...)
+	for i := range b.entries {
+		e := &b.entries[i]
+		body = append(body, byte(e.kind))
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.key)))
+		body = append(body, tmp[:4]...)
+		body = append(body, e.key...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.value)))
+		body = append(body, tmp[:4]...)
+		body = append(body, e.value...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(body, crcTable))
+	buf = append(buf, tmp[:4]...)
+	return append(buf, body...)
+}
+
+// DecodeReplRecord parses exactly one replication log record. It is
+// all-or-nothing: any truncation, trailing garbage, unknown entry kind, or
+// CRC mismatch returns an error wrapping ErrBadReplRecord and no batch.
+// The decoder never trusts length fields beyond the data it holds, so
+// hostile inputs cannot force large allocations.
+func DecodeReplRecord(data []byte) (term, index uint64, b *Batch, err error) {
+	fail := func(what string) (uint64, uint64, *Batch, error) {
+		return 0, 0, nil, fmt.Errorf("%w: %s", ErrBadReplRecord, what)
+	}
+	if len(data) < 25 {
+		return fail("short header")
+	}
+	crc := binary.LittleEndian.Uint32(data)
+	body := data[4:]
+	term = binary.LittleEndian.Uint64(body)
+	index = binary.LittleEndian.Uint64(body[8:])
+	if body[16] != replRecordKind {
+		return fail("not a replication record")
+	}
+	count := int(binary.LittleEndian.Uint32(body[17:]))
+	p := 21
+	maxEntries := (len(body) - p) / 9 // every entry takes ≥9 bytes
+	if count < 0 || count > maxEntries {
+		return fail("entry count exceeds payload")
+	}
+	b = &Batch{entries: make([]entry, 0, count)}
+	for i := 0; i < count; i++ {
+		if len(body) < p+5 {
+			return fail("truncated entry header")
+		}
+		kind := entryKind(body[p])
+		if kind != kindPut && kind != kindDelete {
+			return fail("unknown entry kind")
+		}
+		klen := int(binary.LittleEndian.Uint32(body[p+1:]))
+		p += 5
+		if klen < 0 || len(body) < p+klen+4 {
+			return fail("truncated key")
+		}
+		key := append([]byte{}, body[p:p+klen]...)
+		p += klen
+		vlen := int(binary.LittleEndian.Uint32(body[p:]))
+		p += 4
+		if vlen < 0 || len(body) < p+vlen {
+			return fail("truncated value")
+		}
+		value := append([]byte{}, body[p:p+vlen]...)
+		p += vlen
+		b.entries = append(b.entries, entry{key: key, value: value, kind: kind})
+	}
+	if p != len(body) {
+		return fail("trailing bytes")
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return fail("crc mismatch")
+	}
+	return term, index, b, nil
+}
+
 // decodeWALSegment parses a WAL segment, returning its records in order.
 // On a truncated record it returns the complete prefix decoded so far
 // along with an error wrapping errTruncatedWAL, so the caller can decide

@@ -1,7 +1,8 @@
 // determinism guards the virtual-time contract: simclock-charged packages
 // must compute identical results (stats, recipes, encoded artifacts)
 // given identical inputs, regardless of host, wall clock, or map seed.
-// Inside the charged packages (lnode, gnode, oss, jobs, bench) it flags:
+// Inside the charged packages (lnode, gnode, oss, jobs, bench, repl) it
+// flags:
 //
 //   - time.Now / time.Since — wall clock leaking into charged paths;
 //   - package-level math/rand functions (rand.Intn, rand.Shuffle, …) —
@@ -31,6 +32,7 @@ var chargedPackages = map[string]bool{
 	"oss":   true,
 	"jobs":  true,
 	"bench": true,
+	"repl":  true, // replicated index groups charge failover downtime to simclock
 }
 
 // allowedRandFuncs construct explicitly seeded generators and are

@@ -25,6 +25,11 @@ BENCHTIME=1x sh ./scripts/bench.sh
 # BENCH_restoreio.json artifact (discarded here; CI uploads the real one).
 BENCH_RESTOREIO_OUT=/dev/null go run ./cmd/slimbench -exp restoreio >/dev/null
 
+# Replicated-index experiment smoke: overhead and failover columns are
+# deterministic and the sweep is sub-second, so run it whole as a
+# does-it-still-run check for the BENCH_repl.json artifact.
+BENCH_REPL_OUT=/dev/null go run ./cmd/slimbench -exp repl >/dev/null
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
@@ -34,4 +39,5 @@ if [ "$FUZZTIME" != "0s" ]; then
 	go test -run=NONE -fuzz='^FuzzStreamSkip$' -fuzztime "$FUZZTIME" ./internal/chunker/
 	go test -run=NONE -fuzz='^FuzzRecipeRoundTrip$' -fuzztime "$FUZZTIME" ./internal/recipe/
 	go test -run=NONE -fuzz='^FuzzRecipeDecode$' -fuzztime "$FUZZTIME" ./internal/recipe/
+	go test -run=NONE -fuzz='^FuzzReplRecord$' -fuzztime "$FUZZTIME" ./internal/kvstore/
 fi
