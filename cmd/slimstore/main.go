@@ -22,8 +22,10 @@
 // Any subcommand additionally accepts -pprof <path>: a CPU profile of
 // the whole run is written there, for profiling maintenance commands
 // (scrub, gc) against real repositories. -shards N and -replicas M
-// select the global-index topology (DESIGN §11); every command against
-// a repository must use the same values it was created with.
+// select the global-index topology (DESIGN §11), and -ec-data K with
+// -ec-parity M arm the erasure-coded container tier (DESIGN §12); every
+// command against a repository must use the same values it was created
+// with.
 package main
 
 import (
@@ -45,12 +47,16 @@ import (
 var (
 	globalShards   = 1
 	globalReplicas = 1
+	ecData         = 0
+	ecParity       = 0
 )
 
 func openSystem(repo string) (*slimstore.System, error) {
 	cfg := slimstore.DefaultConfig()
 	cfg.GlobalShards = globalShards
 	cfg.GlobalReplicas = globalReplicas
+	cfg.ECDataShards = ecData
+	cfg.ECParityShards = ecParity
 	switch {
 	case strings.HasPrefix(repo, "dir:"):
 		return slimstore.OpenDirectory(strings.TrimPrefix(repo, "dir:"), cfg)
@@ -124,6 +130,8 @@ func main() {
 	repo := fs.String("repo", "dir:./slimstore-repo", "repository location")
 	fs.IntVar(&globalShards, "shards", 1, "global index shards (must match the repository layout)")
 	fs.IntVar(&globalReplicas, "replicas", 1, "replicas per index shard (2f+1; must match the repository layout)")
+	fs.IntVar(&ecData, "ec-data", 0, "erasure-coding data shards K (0 disables striping; must match the repository layout)")
+	fs.IntVar(&ecParity, "ec-parity", 0, "erasure-coding parity shards M (with -ec-data; must match the repository layout)")
 
 	switch cmd {
 	case "backup":

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestECRegression gates the BENCH_ec.json frontier: the RS stripe must
+// beat naive (1+M)-replication on storage at equal fault tolerance, every
+// scheme must survive its full outage envelope with byte-identical
+// restores, and the degraded-read latency penalty must stay bounded.
+func TestECRegression(t *testing.T) {
+	rep, err := RunECBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ECSchemePoint{}
+	for _, p := range rep.Schemes {
+		byName[p.Scheme] = p
+		t.Logf("%-10s k=%d m=%d stored=%d overhead=%.2fx healthy=%.1fms degraded=%.1fms (%.2fx) survives=%v",
+			p.Scheme, p.K, p.M, p.StoredBytes, p.OverheadX, p.HealthyMS, p.DegradedMS, p.DegradedX, p.SurvivesAllM)
+	}
+	plain, rep3, rs := byName["plain"], byName["rep3 (1+2)"], byName["rs4+2"]
+	if plain.StoredBytes == 0 || rep3.StoredBytes == 0 || rs.StoredBytes == 0 {
+		t.Fatalf("schemes missing from report: %+v", rep.Schemes)
+	}
+
+	// Durability: every scheme survived its entire ≤M outage envelope.
+	for _, p := range rep.Schemes {
+		if !p.SurvivesAllM {
+			t.Errorf("%s failed an outage pattern within its tolerance", p.Scheme)
+		}
+	}
+	if rs.ToleratesDomains != rep3.ToleratesDomains {
+		t.Fatalf("rs and rep3 tolerance differ (%d vs %d) — frontier comparison invalid",
+			rs.ToleratesDomains, rep3.ToleratesDomains)
+	}
+
+	// Cost: the RS stripe must be strictly cheaper than naive
+	// (1+M)-replication at the same fault tolerance, and close to its
+	// ideal (K+M)/K overhead (envelopes and padding allow 10% slack).
+	if rs.StoredBytes >= rep3.StoredBytes {
+		t.Errorf("RS(4+2) stores %d bytes, not less than rep3's %d", rs.StoredBytes, rep3.StoredBytes)
+	}
+	ideal := float64(rs.K+rs.M) / float64(rs.K)
+	if rs.OverheadX > ideal*1.10 {
+		t.Errorf("RS overhead %.3fx exceeds ideal %.3fx by more than 10%%", rs.OverheadX, ideal)
+	}
+	if rep3.OverheadX < 2.9 {
+		t.Errorf("rep3 overhead %.3fx — replication baseline implausibly cheap", rep3.OverheadX)
+	}
+
+	// Latency: losing M backends may cost reconstruction work, but the
+	// degraded restore must stay within 3x of the healthy one.
+	if rs.DegradedX > 3.0 {
+		t.Errorf("degraded restore %.2fx healthy latency, want <= 3.0x", rs.DegradedX)
+	}
+	if rs.DegradedMS <= 0 || rs.HealthyMS <= 0 {
+		t.Errorf("degenerate latency measurements: %+v", rs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"slimstore/internal/ec"
 	"slimstore/internal/fingerprint"
 	"slimstore/internal/oss"
 )
@@ -22,6 +23,14 @@ const QuarantinePrefix = "quarantine/"
 
 func dataKey(id ID) string { return Prefix + id.String() + ".data" }
 func metaKey(id ID) string { return Prefix + id.String() + ".meta" }
+
+// DataKey and MetaKey expose the OSS keys of a container's two objects;
+// the erasure-coding tier and the scrub repair pass address stripes by
+// these keys.
+func DataKey(id ID) string { return dataKey(id) }
+
+// MetaKey is the metadata-object counterpart of DataKey.
+func MetaKey(id ID) string { return metaKey(id) }
 
 // Store reads and writes containers on OSS and allocates container IDs.
 // It is safe for concurrent use by multiple jobs. Views created with View
@@ -284,14 +293,23 @@ func (s *Store) ReadChunk(id ID, fp fingerprint.FP) ([]byte, error) {
 
 // Quarantine moves a container's objects under QuarantinePrefix and drops
 // them from the live namespace. Missing objects are tolerated (a corrupt
-// container may have lost either half). The payload is preserved verbatim
-// for forensics; nothing reads quarantined keys.
+// container may have lost either half), and so is an unreadable half —
+// e.g. an erasure-coded stripe with more than M shards lost, which cannot
+// be materialised for preservation; the live key is still dropped so the
+// namespace heals. The payload, where readable, is preserved verbatim for
+// forensics; nothing reads quarantined keys.
 func (s *Store) Quarantine(id ID) error {
 	for _, suffix := range []string{".data", ".meta"} {
 		key := Prefix + id.String() + suffix
 		raw, err := s.oss.Get(key)
 		if err != nil {
 			if errors.Is(err, oss.ErrNotFound) {
+				continue
+			}
+			if errors.Is(err, ec.ErrInsufficient) {
+				if err := s.oss.Delete(key); err != nil {
+					return fmt.Errorf("container %s: quarantine delete: %w", id, err)
+				}
 				continue
 			}
 			return fmt.Errorf("container %s: quarantine read: %w", id, err)

@@ -11,6 +11,7 @@ import (
 	"slimstore/internal/cache"
 	"slimstore/internal/chunker"
 	"slimstore/internal/container"
+	"slimstore/internal/ec"
 	"slimstore/internal/fingerprint"
 	"slimstore/internal/globalindex"
 	"slimstore/internal/journal"
@@ -131,6 +132,21 @@ type Config struct {
 	// manages key prefixes. Zero values select kvstore defaults.
 	GlobalKV kvstore.Options
 
+	// ECDataShards (K) and ECParityShards (M) arm the erasure-coded
+	// redundancy tier (DESIGN.md §12): every container object is striped
+	// RS(K+M) across K+M fault-isolated OSS backends, surviving any M
+	// backend losses. 0 data shards disables the tier (the default
+	// single-copy layout). K=1 with M>0 is (1+M)-replication.
+	ECDataShards   int
+	ECParityShards int
+	// ECBackends is the backend count; 0 derives K+M. Any other value
+	// must equal K+M (one shard per fault domain).
+	ECBackends int
+	// ECBackendCosts optionally gives backend i its own OSS cost model
+	// (mixing fast and slow fault domains); missing or zero entries use
+	// Costs.
+	ECBackendCosts []simclock.Costs
+
 	// Costs is the virtual-time cost model.
 	Costs simclock.Costs
 }
@@ -226,6 +242,9 @@ func (c *Config) fillDefaults() {
 	if c.Costs == (simclock.Costs{}) {
 		c.Costs = d.Costs
 	}
+	if c.ECDataShards > 0 && c.ECBackends <= 0 {
+		c.ECBackends = c.ECDataShards + c.ECParityShards
+	}
 }
 
 // Repo is the opened storage layer. One Repo is shared by every L-node and
@@ -254,6 +273,12 @@ type Repo struct {
 	// Journal is the intent journal for multi-object reorganisations;
 	// OpenRepo replays surviving records before returning.
 	Journal *journal.Store
+
+	// EC is the erasure-coded redundancy tier (nil when ECDataShards is
+	// 0): container objects are striped across EC.Backends(), whose
+	// Faulty wrappers are the chaos injection surface for whole-backend
+	// outages and shard rot.
+	EC *ec.Store
 
 	// Files serialises per-file mutations across concurrent jobs
 	// (backup/delete/compaction exclusive, restore shared).
@@ -293,7 +318,22 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 	if _, err := chunker.New(cfg.ChunkAlgo, cfg.ChunkParams); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	cs, err := container.NewStore(store, cfg.ContainerCapacity)
+	var tier *ec.Store
+	containerOSS := store
+	if cfg.ECDataShards > 0 {
+		k, m := cfg.ECDataShards, cfg.ECParityShards
+		if cfg.ECBackends != k+m {
+			return nil, fmt.Errorf("core: ECBackends %d must equal ECDataShards+ECParityShards %d",
+				cfg.ECBackends, k+m)
+		}
+		set := oss.NewBackendSet(store, k+m, cfg.Costs, cfg.ECBackendCosts)
+		var err error
+		if tier, err = ec.NewStore(set, k, m, cfg.Costs); err != nil {
+			return nil, fmt.Errorf("core: open redundancy tier: %w", err)
+		}
+		containerOSS = ecRouter(tier, store)
+	}
+	cs, err := container.NewStore(containerOSS, cfg.ContainerCapacity)
 	if err != nil {
 		return nil, fmt.Errorf("core: open containers: %w", err)
 	}
@@ -312,6 +352,7 @@ func OpenRepo(store oss.Store, cfg Config) (*Repo, error) {
 	r := &Repo{
 		Config:       cfg,
 		Base:         store,
+		EC:           tier,
 		Containers:   cs,
 		Recipes:      recipe.NewStore(store),
 		SimIndex:     si,
@@ -406,9 +447,29 @@ func (r *Repo) Metered(acct *simclock.Account) *oss.Metered {
 	return oss.NewMetered(r.Base, r.Config.Costs, acct)
 }
 
-// ContainersFor returns a container-store view charging acct.
+// ecRouter routes the container namespaces through the redundancy tier
+// and everything else to plain.
+func ecRouter(tier *ec.Store, plain oss.Store) *ec.Router {
+	return ec.NewRouter(tier, plain, container.Prefix, container.QuarantinePrefix)
+}
+
+// ContainersFor returns a container-store view charging acct. With the
+// redundancy tier armed, container I/O stripes through a per-account EC
+// view (charging per-shard, per-backend costs) while recipes, indexes and
+// the journal keep using the plain metered store.
 func (r *Repo) ContainersFor(acct *simclock.Account) *container.Store {
-	return r.Containers.View(r.Metered(acct))
+	if r.EC == nil {
+		return r.Containers.View(r.Metered(acct))
+	}
+	return r.Containers.View(ecRouter(r.EC.WithAccount(acct), r.Metered(acct)))
+}
+
+// ECFor returns an EC-tier view charging acct (nil when the tier is off).
+func (r *Repo) ECFor(acct *simclock.Account) *ec.Store {
+	if r.EC == nil {
+		return nil
+	}
+	return r.EC.WithAccount(acct)
 }
 
 // RecipesFor returns a recipe-store view charging acct.

@@ -1,0 +1,37 @@
+package ec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzECDecode throws arbitrary bytes at the shard-envelope decoder: it
+// must never panic, and any envelope it accepts must re-encode to the
+// exact input bytes (decode is a retraction of encode — the property that
+// keeps repaired shards byte-identical to the originals).
+func FuzzECDecode(f *testing.F) {
+	h, payload := goldenShard()
+	f.Add([]byte{})
+	f.Add(EncodeShard(h, payload))
+	f.Add(EncodeShard(ShardHeader{StripeID: 1, Index: 0, K: 1, M: 0}, []byte{0}))
+	trunc := EncodeShard(h, payload)
+	f.Add(trunc[:HeaderSize])
+	flipped := EncodeShard(h, payload)
+	flipped[HeaderSize] ^= 0xFF
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		hdr, p, err := DecodeShard(b)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes are exactly canonical: geometry plausible,
+		// re-encode reproduces the input.
+		if hdr.K < 1 || hdr.K+hdr.M > 256 || hdr.Index >= hdr.K+hdr.M || hdr.ObjLen < 0 {
+			t.Fatalf("decoder accepted implausible geometry %+v", hdr)
+		}
+		again := EncodeShard(hdr, p)
+		if !bytes.Equal(again, b) {
+			t.Fatalf("accepted envelope is not canonical: re-encode differs at byte %d", firstDiff(again, b))
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Package ec implements the erasure-coded redundancy tier (DESIGN.md §12):
+// a systematic Reed-Solomon RS(K+M) codec over GF(2^8) and an oss.Store
+// that stripes every container object into K data + M parity shards across
+// K+M fault-isolated OSS backends. Any K intact shards reconstruct the
+// original object, so the tier survives up to M whole-backend outages or
+// shard corruptions without losing a byte — the durability side of the
+// replication-versus-deduplication balance that FASTEN and CDStore frame.
+package ec
+
+// GF(2^8) arithmetic with the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2. Exp/log tables make
+// multiply two lookups; a full 256×256 product table (64 KiB, built once)
+// makes the hot encode loops a single indexed XOR per byte.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // gfExp[i] = 2^i, doubled so mul needs no mod-255
+	gfLog [256]byte // gfLog[gfExp[i]] = i; gfLog[0] unused
+	gfMul [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x >= 256 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			gfMul[a][b] = gfExp[int(gfLog[a])+int(gfLog[b])]
+		}
+	}
+}
+
+func mul(a, b byte) byte { return gfMul[a][b] }
+
+// inv returns the multiplicative inverse; inv(0) panics (never reachable
+// from a well-formed Cauchy matrix).
+func inv(a byte) byte {
+	if a == 0 {
+		panic("ec: inverse of zero in GF(2^8)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// mulAdd computes dst[i] ^= c*src[i] for every byte, the inner loop of
+// encode and reconstruct.
+func mulAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := &gfMul[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// invertMatrix inverts an n×n matrix over GF(2^8) in place via
+// Gauss-Jordan, returning false if the matrix is singular.
+func invertMatrix(m [][]byte) bool {
+	n := len(m)
+	// Augment with the identity.
+	for i := 0; i < n; i++ {
+		m[i] = append(m[i], make([]byte, n)...)
+		m[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		if p := m[col][col]; p != 1 {
+			pi := inv(p)
+			for j := 0; j < 2*n; j++ {
+				m[col][j] = mul(m[col][j], pi)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			c := m[r][col]
+			for j := 0; j < 2*n; j++ {
+				m[r][j] ^= mul(c, m[col][j])
+			}
+		}
+	}
+	// Strip the left half, leaving the inverse.
+	for i := 0; i < n; i++ {
+		m[i] = m[i][n:]
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package ec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func testData(t *testing.T, rng *rand.Rand, n int) []byte {
+	t.Helper()
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// eraseAndReconstruct wipes the given shard slots, reconstructs, and
+// checks every shard comes back byte-identical to the original encoding.
+func eraseAndReconstruct(t *testing.T, c *Codec, orig [][]byte, lost []int) {
+	t.Helper()
+	shards := make([][]byte, len(orig))
+	for i := range orig {
+		cp := make([]byte, len(orig[i]))
+		copy(cp, orig[i])
+		shards[i] = cp
+	}
+	for _, i := range lost {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatalf("RS(%d+%d) reconstruct with lost %v: %v", c.K(), c.M(), lost, err)
+	}
+	for i := range orig {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("RS(%d+%d) lost %v: shard %d differs after reconstruction", c.K(), c.M(), lost, i)
+		}
+	}
+}
+
+// TestReconstructExhaustive proves round-trip reconstruction under every
+// erasure pattern of ≤ M lost shards for a battery of small geometries —
+// including k=1 (replication) and m=0 (striping only).
+func TestReconstructExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	geoms := [][2]int{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {3, 2}, {4, 2}, {4, 3}, {5, 3}}
+	sizes := []int{0, 1, 5, 63, 64, 65, 1000}
+	for _, g := range geoms {
+		k, m := g[0], g[1]
+		c, err := NewCodec(k, m)
+		if err != nil {
+			t.Fatalf("NewCodec(%d,%d): %v", k, m, err)
+		}
+		n := k + m
+		for _, sz := range sizes {
+			data := testData(t, rng, sz)
+			orig := c.Encode(data)
+			if len(orig) != n {
+				t.Fatalf("RS(%d+%d): Encode returned %d shards", k, m, len(orig))
+			}
+			if !c.Verify(orig) {
+				t.Fatalf("RS(%d+%d): fresh encoding fails Verify", k, m)
+			}
+			if got, err := c.Join(orig[:k], sz); err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("RS(%d+%d): join of pristine data shards: err=%v equal=%v", k, m, err, bytes.Equal(got, data))
+			}
+			// Every subset of ≤ m erasures.
+			for mask := 0; mask < 1<<n; mask++ {
+				var lost []int
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						lost = append(lost, i)
+					}
+				}
+				if len(lost) > m {
+					continue
+				}
+				eraseAndReconstruct(t, c, orig, lost)
+			}
+		}
+	}
+}
+
+// TestReconstructTooManyLost pins the loud-failure contract: more than M
+// erasures must return ErrInsufficient, never garbage.
+func TestReconstructTooManyLost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range [][2]int{{1, 1}, {2, 2}, {4, 2}, {3, 3}} {
+		k, m := g[0], g[1]
+		c, err := NewCodec(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := c.Encode(testData(t, rng, 512))
+		n := k + m
+		for mask := 0; mask < 1<<n; mask++ {
+			var lost []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					lost = append(lost, i)
+				}
+			}
+			if len(lost) <= m {
+				continue
+			}
+			shards := make([][]byte, n)
+			copy(shards, orig)
+			for _, i := range lost {
+				shards[i] = nil
+			}
+			if err := c.Reconstruct(shards); !errors.Is(err, ErrInsufficient) {
+				t.Fatalf("RS(%d+%d) lost %v: want ErrInsufficient, got %v", k, m, lost, err)
+			}
+		}
+	}
+}
+
+// TestReconstructRandomLarge covers geometries too big for exhaustive
+// pattern enumeration with seeded random erasure patterns.
+func TestReconstructRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, g := range [][2]int{{8, 4}, {10, 4}, {16, 3}} {
+		k, m := g[0], g[1]
+		c, err := NewCodec(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := testData(t, rng, 8192)
+		orig := c.Encode(data)
+		for trial := 0; trial < 200; trial++ {
+			nLost := 1 + rng.Intn(m)
+			perm := rng.Perm(k + m)
+			eraseAndReconstruct(t, c, orig, perm[:nLost])
+		}
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {-1, 2}, {1, -1}, {200, 100}} {
+		if _, err := NewCodec(g[0], g[1]); err == nil {
+			t.Errorf("NewCodec(%d,%d): want error", g[0], g[1])
+		}
+	}
+	// The largest legal geometry must construct (every Cauchy element
+	// nonzero and invertible).
+	if _, err := NewCodec(128, 128); err != nil {
+		t.Errorf("NewCodec(128,128): %v", err)
+	}
+}
+
+// TestReplicationDegenerate pins the k=1 special case used for both meta
+// replication and the naive-(1+M) bench baseline: every shard alone
+// reconstructs the object.
+func TestReplicationDegenerate(t *testing.T) {
+	c, err := NewCodec(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("replicate me")
+	orig := c.Encode(data)
+	for keep := 0; keep < 4; keep++ {
+		shards := make([][]byte, 4)
+		cp := make([]byte, len(orig[keep]))
+		copy(cp, orig[keep])
+		shards[keep] = cp
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("keep only shard %d: %v", keep, err)
+		}
+		got, err := c.Join(shards[:1], len(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("keep only shard %d: join err=%v got=%q", keep, err, got)
+		}
+	}
+}
+
+func TestGFArithmetic(t *testing.T) {
+	// Inverse property over the whole field.
+	for a := 1; a < 256; a++ {
+		if got := mul(byte(a), inv(byte(a))); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d", got, a)
+		}
+	}
+	// Distributivity spot-check against the table.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if mul(a, b^c) != mul(a, b)^mul(a, c) {
+			t.Fatalf("distributivity fails for %d,%d,%d", a, b, c)
+		}
+		if mul(a, b) != mul(b, a) {
+			t.Fatalf("commutativity fails for %d,%d", a, b)
+		}
+	}
+}
+
+func TestInvertMatrixSingular(t *testing.T) {
+	m := [][]byte{{1, 2}, {1, 2}}
+	if invertMatrix(m) {
+		t.Fatal("inverted a singular matrix")
+	}
+}

@@ -1,0 +1,623 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+
+	"slimstore/internal/oss"
+	"slimstore/internal/simclock"
+)
+
+// Store is the erasure-coded redundancy tier: an oss.Store that stripes
+// every object into K data + M parity shards across K+M fault-isolated
+// backends. Reads reconstruct transparently while at most M shards are
+// unavailable (whole-backend outage, missing object, or checksum-failed
+// envelope), charging reconstruction CPU to the job's account; more than
+// M losses surface loudly as ErrInsufficient. Views from WithAccount
+// share the backends and stats, mirroring oss.Metered.
+type Store struct {
+	codec    *Codec
+	backends []*oss.Backend
+	cpu      simclock.Costs    // CPU-side cost model (reconstruction)
+	acct     *simclock.Account // may be nil (unmetered view)
+	sh       *shared
+}
+
+// shared is the per-tier state common to every account view.
+type shared struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts tier activity since the store was built. Counters are
+// aggregated across all account views.
+type Stats struct {
+	StripesWritten      int64 // Put calls that wrote a full stripe
+	ShardWrites         int64 // individual shard objects written (incl. repairs)
+	Reads               int64 // Get calls served
+	DegradedReads       int64 // Gets that needed reconstruction
+	ReconstructedShards int64 // shards rebuilt by reads and repairs
+	ShardFailures       int64 // shard reads lost to outage, rot, or staleness
+	RangedReads         int64 // GetRange calls served from shard sub-ranges
+	RangedFallbacks     int64 // GetRanges that fell back to full reconstruction
+	RepairedShards      int64 // shards rewritten to a backend by Repair
+}
+
+// NewStore builds the tier over len(backends) = k+m backends. cpu supplies
+// the reconstruction cost model (Costs.ECReconstructPerByte).
+func NewStore(backends []*oss.Backend, k, m int, cpu simclock.Costs) (*Store, error) {
+	codec, err := NewCodec(k, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(backends) != k+m {
+		return nil, fmt.Errorf("ec: RS(%d+%d) needs %d backends, have %d", k, m, k+m, len(backends))
+	}
+	return &Store{codec: codec, backends: backends, cpu: cpu, sh: &shared{}}, nil
+}
+
+// WithAccount returns a view over the same backends and stats charging a
+// different account (nil disables charging).
+func (s *Store) WithAccount(acct *simclock.Account) *Store {
+	v := *s
+	v.acct = acct
+	return &v
+}
+
+// Codec exposes the tier's codec geometry.
+func (s *Store) Codec() *Codec { return s.codec }
+
+// Backends exposes the backend set (the chaos injection surface).
+func (s *Store) Backends() []*oss.Backend { return s.backends }
+
+// Stats snapshots the tier counters.
+func (s *Store) Stats() Stats {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	return s.sh.stats
+}
+
+func (s *Store) bump(f func(*Stats)) {
+	s.sh.mu.Lock()
+	f(&s.sh.stats)
+	s.sh.mu.Unlock()
+}
+
+func (s *Store) chargeRead(i, n int) {
+	if s.acct != nil {
+		s.acct.ChargeRead(s.backends[i].Costs, int64(n))
+	}
+}
+
+func (s *Store) chargeWrite(i, n int) {
+	if s.acct != nil {
+		s.acct.ChargeWrite(s.backends[i].Costs, int64(n))
+	}
+}
+
+func (s *Store) chargeReconstruct(n int) {
+	if s.acct != nil {
+		s.acct.ChargeCPUBytes(simclock.PhaseECReconstruct, int64(n), s.cpu.ECReconstructPerByte)
+	}
+}
+
+// header returns the envelope header for a write of data under key.
+func (s *Store) header(key string, data []byte) ShardHeader {
+	return ShardHeader{
+		StripeID: StripeIDOf(key),
+		K:        s.codec.K(),
+		M:        s.codec.M(),
+		ObjLen:   int64(len(data)),
+		ObjCRC:   crc32.Checksum(data, crcTable),
+	}
+}
+
+// Put implements oss.Store: encode and write one shard per backend. Every
+// backend is attempted even after a failure (leaving the stripe as
+// complete as possible for later repair), but any failure makes the whole
+// Put fail loudly — callers treat the object as not written and the
+// container data-then-meta protocol keeps partial stripes invisible.
+func (s *Store) Put(key string, data []byte) error {
+	shards := s.codec.Encode(data)
+	h := s.header(key, data)
+	// Parity generation is the same GF arithmetic as reconstruction.
+	s.chargeReconstruct(s.codec.M() * len(shards[0]))
+	var errs []error
+	wrote := int64(0)
+	for i, payload := range shards {
+		h.Index = i
+		env := EncodeShard(h, payload)
+		if err := s.backends[i].Store.Put(key, env); err != nil {
+			errs = append(errs, fmt.Errorf("backend %s: %w", s.backends[i].Name, err))
+			continue
+		}
+		wrote++
+		s.chargeWrite(i, len(env))
+	}
+	s.bump(func(st *Stats) {
+		st.StripesWritten++
+		st.ShardWrites += wrote
+	})
+	if len(errs) > 0 {
+		return fmt.Errorf("ec: put %s: %w", key, errors.Join(errs...))
+	}
+	return nil
+}
+
+// fetchShard reads and validates shard i of key. ok=false with notFound
+// reporting whether the miss was a plain absent object (as opposed to an
+// outage, rot, or a shard from a different stripe).
+func (s *Store) fetchShard(key string, i int) (h ShardHeader, payload []byte, ok, notFound bool) {
+	raw, err := s.backends[i].Store.Get(key)
+	if err != nil {
+		return h, nil, false, errors.Is(err, oss.ErrNotFound)
+	}
+	h, payload, err = DecodeShard(raw)
+	if err != nil || h.Index != i || h.K != s.codec.K() || h.M != s.codec.M() ||
+		h.StripeID != StripeIDOf(key) {
+		return h, nil, false, false
+	}
+	s.chargeRead(i, len(raw))
+	return h, payload, true, false
+}
+
+// stripe is the validated view of one key across all backends.
+type stripe struct {
+	hdrs     []*ShardHeader // by shard index, nil if unreadable
+	payloads [][]byte
+	notFound int // slots where the shard object simply does not exist
+	failed   int // slots lost to outage, rot, or mismatched envelopes
+}
+
+// fetchStripe reads shards [0, upto) of key. Slots beyond upto stay nil.
+func (s *Store) fetchStripe(key string, upto int) *stripe {
+	n := s.codec.K() + s.codec.M()
+	st := &stripe{hdrs: make([]*ShardHeader, n), payloads: make([][]byte, n)}
+	for i := 0; i < upto; i++ {
+		h, payload, ok, notFound := s.fetchShard(key, i)
+		switch {
+		case ok:
+			hc := h
+			st.hdrs[i] = &hc
+			st.payloads[i] = payload
+		case notFound:
+			st.notFound++
+		default:
+			st.failed++
+		}
+	}
+	return st
+}
+
+// winner picks the write generation with the most surviving shards
+// (deterministic tie-break on the generation tuple) and returns its
+// header plus the count of shards belonging to it.
+func (st *stripe) winner() (ShardHeader, int) {
+	counts := make(map[[2]uint64]int)
+	for _, h := range st.hdrs {
+		if h != nil {
+			counts[h.gen()]++
+		}
+	}
+	var best ShardHeader
+	bestN := 0
+	for _, h := range st.hdrs {
+		if h == nil {
+			continue
+		}
+		n := counts[h.gen()]
+		g, bg := h.gen(), best.gen()
+		if n > bestN || (n == bestN && (g[0] < bg[0] || (g[0] == bg[0] && g[1] < bg[1]))) {
+			best, bestN = *h, n
+		}
+	}
+	return best, bestN
+}
+
+// slots returns the winning generation's payloads in codec order (nil for
+// every other slot) and the list of slots needing a rewrite.
+func (st *stripe) slots(gen ShardHeader) (shards [][]byte, bad []int) {
+	shards = make([][]byte, len(st.payloads))
+	want := gen.gen()
+	for i, h := range st.hdrs {
+		if h != nil && h.gen() == want {
+			shards[i] = st.payloads[i]
+		} else {
+			bad = append(bad, i)
+		}
+	}
+	return shards, bad
+}
+
+// Get implements oss.Store: fetch the K data shards, reconstructing from
+// parity when any are missing, rotted, or stale.
+func (s *Store) Get(key string) ([]byte, error) {
+	k, m := s.codec.K(), s.codec.M()
+	st := s.fetchStripe(key, k)
+
+	// Fast path: every data shard intact and from one generation — no GF
+	// arithmetic, just join and verify the object checksum.
+	if st.failed == 0 && st.notFound == 0 {
+		if gen, n := st.winner(); n == k {
+			data, err := s.codec.Join(st.payloads[:k], int(gen.ObjLen))
+			if err == nil && crc32.Checksum(data, crcTable) == gen.ObjCRC {
+				s.bump(func(x *Stats) { x.Reads++ })
+				return data, nil
+			}
+		}
+	}
+
+	// Degraded: fetch the parity shards too and decode the winning
+	// generation.
+	for i := k; i < k+m; i++ {
+		h, payload, ok, notFound := s.fetchShard(key, i)
+		switch {
+		case ok:
+			hc := h
+			st.hdrs[i] = &hc
+			st.payloads[i] = payload
+		case notFound:
+			st.notFound++
+		default:
+			st.failed++
+		}
+	}
+	gen, n := st.winner()
+	if n == 0 && st.failed == 0 {
+		return nil, fmt.Errorf("%w: %s", oss.ErrNotFound, key)
+	}
+	if n < k {
+		s.bump(func(x *Stats) { x.ShardFailures += int64(k + m - n) })
+		return nil, fmt.Errorf("ec: get %s: %w (%d of %d shards of the best generation, %d unreadable)",
+			key, ErrInsufficient, n, k+m, st.failed)
+	}
+	shards, bad := st.slots(gen)
+	missingData := 0
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			missingData++
+		}
+	}
+	if err := s.codec.Reconstruct(shards); err != nil {
+		return nil, fmt.Errorf("ec: get %s: %w", key, err)
+	}
+	data, err := s.codec.Join(shards[:k], int(gen.ObjLen))
+	if err != nil {
+		return nil, fmt.Errorf("ec: get %s: %w", key, err)
+	}
+	if crc32.Checksum(data, crcTable) != gen.ObjCRC {
+		return nil, fmt.Errorf("ec: get %s: reconstructed object fails its checksum", key)
+	}
+	s.chargeReconstruct(missingData * len(shards[0]))
+	s.bump(func(x *Stats) {
+		x.Reads++
+		x.DegradedReads++
+		x.ReconstructedShards += int64(missingData)
+		x.ShardFailures += int64(len(bad))
+	})
+	return data, nil
+}
+
+// probeHeader reads one shard header from the first backend that serves a
+// valid one.
+func (s *Store) probeHeader(key string) (ShardHeader, error) {
+	var lastErr error
+	allMissing := true
+	for i := range s.backends {
+		raw, err := s.backends[i].Store.GetRange(key, 0, HeaderSize)
+		if err != nil {
+			if !errors.Is(err, oss.ErrNotFound) {
+				allMissing = false
+			}
+			lastErr = err
+			continue
+		}
+		allMissing = false
+		h, err := DecodeShardHeader(raw)
+		if err != nil || h.StripeID != StripeIDOf(key) {
+			lastErr = fmt.Errorf("ec: probe %s on backend %s: invalid header", key, s.backends[i].Name)
+			continue
+		}
+		s.chargeRead(i, len(raw))
+		return h, nil
+	}
+	if allMissing {
+		return ShardHeader{}, fmt.Errorf("%w: %s", oss.ErrNotFound, key)
+	}
+	return ShardHeader{}, fmt.Errorf("ec: probe %s: no backend served a header: %w", key, lastErr)
+}
+
+// GetRange implements oss.Store. The contiguous split maps a byte range
+// onto sub-ranges of at most a handful of consecutive shards, so the
+// ranged-read planner's economics survive striping: one small header
+// probe plus one ranged read per covering shard. Any unreadable covering
+// shard falls back to a full reconstructing Get.
+func (s *Store) GetRange(key string, off, n int64) ([]byte, error) {
+	h, err := s.probeHeader(key)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > h.ObjLen {
+		return nil, fmt.Errorf("oss: range [%d,+%d) out of bounds for %s (size %d)", off, n, key, h.ObjLen)
+	}
+	end := h.ObjLen
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	if end == off {
+		s.bump(func(x *Stats) { x.RangedReads++ })
+		return []byte{}, nil
+	}
+	out := make([]byte, 0, end-off)
+	sz := int64(s.codec.ShardSize(int(h.ObjLen)))
+	for j := off / sz; j*sz < end; j++ {
+		if int(j) >= s.codec.K() {
+			break
+		}
+		lo, hi := j*sz, (j+1)*sz
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		part, err := s.backends[j].Store.GetRange(key, HeaderSize+lo-j*sz, hi-lo)
+		if err != nil || int64(len(part)) != hi-lo {
+			// Covering shard unreachable — reconstruct the whole object.
+			s.bump(func(x *Stats) { x.RangedFallbacks++ })
+			full, gerr := s.Get(key)
+			if gerr != nil {
+				return nil, gerr
+			}
+			return full[off:end], nil
+		}
+		s.chargeRead(int(j), len(part))
+		out = append(out, part...)
+	}
+	s.bump(func(x *Stats) { x.RangedReads++ })
+	return out, nil
+}
+
+// Head implements oss.Store.
+func (s *Store) Head(key string) (int64, error) {
+	h, err := s.probeHeader(key)
+	if err != nil {
+		return 0, err
+	}
+	return h.ObjLen, nil
+}
+
+// Delete implements oss.Store: the shard must disappear from every
+// backend, so a deletion during an outage fails loudly rather than
+// leaving resurrectable stale shards behind (journal-driven GC retries
+// after the heal).
+func (s *Store) Delete(key string) error {
+	var errs []error
+	for i := range s.backends {
+		if err := s.backends[i].Store.Delete(key); err != nil {
+			errs = append(errs, fmt.Errorf("backend %s: %w", s.backends[i].Name, err))
+			continue
+		}
+		s.chargeWrite(i, 0)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("ec: delete %s: %w", key, errors.Join(errs...))
+	}
+	return nil
+}
+
+// List implements oss.Store: the union of keys across reachable backends
+// (a stripe is listed even when some backends are down — scrub needs to
+// see degraded stripes). Only when every backend fails does List fail.
+func (s *Store) List(prefix string) ([]string, error) {
+	seen := make(map[string]bool)
+	var lastErr error
+	ok := 0
+	for i := range s.backends {
+		keys, err := s.backends[i].Store.List(prefix)
+		if err != nil {
+			lastErr = fmt.Errorf("backend %s: %w", s.backends[i].Name, err)
+			continue
+		}
+		ok++
+		for _, k := range keys {
+			seen[k] = true
+		}
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("ec: list %s: %w", prefix, lastErr)
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// StripeHealth is the scrub-facing view of one striped object.
+type StripeHealth struct {
+	Key string
+	// Present counts shards of the winning generation that are readable
+	// and checksum-valid.
+	Present int
+	// Bad lists shard slots needing a rewrite: missing, rotted, stale
+	// generation, or on an unreachable backend.
+	Bad []int
+	// Recoverable is Present >= K: Repair can rebuild the stripe.
+	Recoverable bool
+}
+
+// Check reads every shard of key and classifies the stripe. A key with no
+// shard anywhere returns oss.ErrNotFound.
+func (s *Store) Check(key string) (*StripeHealth, error) {
+	k, m := s.codec.K(), s.codec.M()
+	st := s.fetchStripe(key, k+m)
+	gen, n := st.winner()
+	if n == 0 {
+		if st.failed == 0 {
+			return nil, fmt.Errorf("%w: %s", oss.ErrNotFound, key)
+		}
+		return &StripeHealth{Key: key, Present: 0, Bad: allSlots(k + m)}, nil
+	}
+	_, bad := st.slots(gen)
+	return &StripeHealth{Key: key, Present: n, Bad: bad, Recoverable: n >= k}, nil
+}
+
+func allSlots(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Repair rebuilds a degraded stripe back to full K+M redundancy:
+// reconstruct the winning generation from its survivors and rewrite every
+// bad slot. Reconstruction is deterministic, so repaired shard objects
+// are byte-identical to the originals. Rewrites that fail (backend still
+// down) leave the stripe degraded for the next scrub; the returned count
+// says how many shards actually landed. Repair is idempotent and safe to
+// crash out of at any point — it only ever writes bytes the stripe
+// already logically contains.
+func (s *Store) Repair(key string) (repaired int, err error) {
+	k, m := s.codec.K(), s.codec.M()
+	st := s.fetchStripe(key, k+m)
+	gen, n := st.winner()
+	if n < k {
+		return 0, fmt.Errorf("ec: repair %s: %w (%d of %d shards)", key, ErrInsufficient, n, k+m)
+	}
+	shards, bad := st.slots(gen)
+	if len(bad) == 0 {
+		return 0, nil
+	}
+	if err := s.codec.Reconstruct(shards); err != nil {
+		return 0, fmt.Errorf("ec: repair %s: %w", key, err)
+	}
+	// Never write a repair whose reconstructed object fails its checksum.
+	data, err := s.codec.Join(shards[:k], int(gen.ObjLen))
+	if err != nil {
+		return 0, fmt.Errorf("ec: repair %s: %w", key, err)
+	}
+	if crc32.Checksum(data, crcTable) != gen.ObjCRC {
+		return 0, fmt.Errorf("ec: repair %s: reconstructed object fails its checksum", key)
+	}
+	s.chargeReconstruct(len(bad) * len(shards[0]))
+	h := gen
+	var errs []error
+	for _, i := range bad {
+		h.Index = i
+		env := EncodeShard(h, shards[i])
+		if werr := s.backends[i].Store.Put(key, env); werr != nil {
+			errs = append(errs, fmt.Errorf("backend %s: %w", s.backends[i].Name, werr))
+			continue
+		}
+		repaired++
+		s.chargeWrite(i, len(env))
+	}
+	rep := int64(repaired)
+	recon := int64(len(bad))
+	s.bump(func(x *Stats) {
+		x.RepairedShards += rep
+		x.ReconstructedShards += recon
+		x.ShardWrites += rep
+	})
+	if len(errs) > 0 {
+		return repaired, fmt.Errorf("ec: repair %s: %w", key, errors.Join(errs...))
+	}
+	return repaired, nil
+}
+
+// Router splits one OSS namespace between the striped tier and a plain
+// store: keys under the routed prefixes (the container namespaces) ride
+// the redundancy tier, everything else (recipes, indexes, journal, LSM
+// segments) stays on the plain store. container.Store opens over a Router
+// so the whole container path — backup, restore, quarantine, rewrite —
+// stripes transparently.
+type Router struct {
+	tier     *Store
+	plain    oss.Store
+	prefixes []string
+}
+
+// NewRouter routes keys under any of prefixes to tier and the rest to
+// plain.
+func NewRouter(tier *Store, plain oss.Store, prefixes ...string) *Router {
+	return &Router{tier: tier, plain: plain, prefixes: prefixes}
+}
+
+// Tier returns the EC store behind the router.
+func (r *Router) Tier() *Store { return r.tier }
+
+func (r *Router) routed(key string) bool {
+	for _, p := range r.prefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) store(key string) oss.Store {
+	if r.routed(key) {
+		return r.tier
+	}
+	return r.plain
+}
+
+// Put implements oss.Store.
+func (r *Router) Put(key string, data []byte) error { return r.store(key).Put(key, data) }
+
+// Get implements oss.Store.
+func (r *Router) Get(key string) ([]byte, error) { return r.store(key).Get(key) }
+
+// GetRange implements oss.Store.
+func (r *Router) GetRange(key string, off, n int64) ([]byte, error) {
+	return r.store(key).GetRange(key, off, n)
+}
+
+// Head implements oss.Store.
+func (r *Router) Head(key string) (int64, error) { return r.store(key).Head(key) }
+
+// Delete implements oss.Store.
+func (r *Router) Delete(key string) error { return r.store(key).Delete(key) }
+
+// List implements oss.Store. A listing prefix inside a routed namespace
+// serves from the tier; a broader prefix merges both sides, hiding the
+// tier's physical shard objects behind their logical keys.
+func (r *Router) List(prefix string) ([]string, error) {
+	if r.routed(prefix) {
+		return r.tier.List(prefix)
+	}
+	keys, err := r.plain.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		// Physical shard namespaces live on the plain base store; hide
+		// them from logical listings.
+		if !strings.HasPrefix(k, "ec/") && !r.routed(k) {
+			out = append(out, k)
+		}
+	}
+	merged := false
+	for _, p := range r.prefixes {
+		if strings.HasPrefix(p, prefix) {
+			tk, err := r.tier.List(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tk...)
+			merged = true
+		}
+	}
+	if merged {
+		sort.Strings(out)
+	}
+	return out, nil
+}

@@ -1,0 +1,464 @@
+package ec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"slimstore/internal/oss"
+	"slimstore/internal/simclock"
+)
+
+func newTestTier(t *testing.T, k, m int) (*Store, *oss.Mem) {
+	t.Helper()
+	mem := oss.NewMem()
+	set := oss.NewBackendSet(mem, k+m, simclock.DefaultCosts(), nil)
+	s, err := NewStore(set, k, m, simclock.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mem
+}
+
+func shardKey(i int, key string) string { return oss.BackendPrefix(i) + key }
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range [][2]int{{1, 2}, {2, 1}, {4, 2}} {
+		s, mem := newTestTier(t, g[0], g[1])
+		for _, n := range []int{0, 1, 100, 4096, 100_000} {
+			key := "containers/obj.data"
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := s.Put(key, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("RS(%d+%d) n=%d: %v", g[0], g[1], n, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("RS(%d+%d) n=%d: round trip mismatch", g[0], g[1], n)
+			}
+			// One shard object must exist on every backend.
+			for i := 0; i < g[0]+g[1]; i++ {
+				if _, err := mem.Get(shardKey(i, key)); err != nil {
+					t.Fatalf("backend %d missing its shard: %v", i, err)
+				}
+			}
+		}
+		if st := s.Stats(); st.DegradedReads != 0 {
+			t.Fatalf("healthy round trips counted %d degraded reads", st.DegradedReads)
+		}
+	}
+}
+
+func TestStoreGetNotFound(t *testing.T) {
+	s, _ := newTestTier(t, 2, 1)
+	if _, err := s.Get("containers/nope.data"); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Head("containers/nope.data"); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatalf("Head: want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Check("containers/nope.data"); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatalf("Check: want ErrNotFound, got %v", err)
+	}
+}
+
+// TestStoreDegradedReads kills every ≤M subset of backends in turn and
+// requires byte-identical reads, then one extra backend and requires a
+// loud ErrInsufficient.
+func TestStoreDegradedReads(t *testing.T) {
+	const k, m = 4, 2
+	s, _ := newTestTier(t, k, m)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 50_000)
+	rng.Read(data)
+	key := "containers/c1.data"
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	n := k + m
+	for mask := 0; mask < 1<<n; mask++ {
+		var down []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				down = append(down, i)
+			}
+		}
+		for _, i := range down {
+			s.Backends()[i].Faulty.SetOutage(true)
+		}
+		got, err := s.Get(key)
+		if len(down) <= m {
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("down=%v: err=%v equal=%v", down, err, err == nil && bytes.Equal(got, data))
+			}
+		} else if !errors.Is(err, ErrInsufficient) {
+			t.Fatalf("down=%v (> M): want ErrInsufficient, got %v", down, err)
+		}
+		for _, i := range down {
+			s.Backends()[i].Faulty.SetOutage(false)
+		}
+	}
+	if st := s.Stats(); st.DegradedReads == 0 || st.ReconstructedShards == 0 {
+		t.Fatalf("outage reads did not count as degraded: %+v", st)
+	}
+}
+
+// TestStoreShardRot flips bytes inside shard objects (payload and header)
+// and requires transparent reconstruction up to M rotted shards.
+func TestStoreShardRot(t *testing.T) {
+	const k, m = 3, 2
+	s, mem := newTestTier(t, k, m)
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 20_000)
+	rng.Read(data)
+	key := "containers/rot.data"
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	rot := func(i int, off int) {
+		raw, err := mem.Get(shardKey(i, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[off] ^= 0xFF
+		if err := mem.Put(shardKey(i, key), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rot(0, HeaderSize+10) // payload rot
+	rot(3, 8)             // header rot (stripe ID)
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("2 rotted shards: err=%v", err)
+	}
+	// A third rotted shard exceeds M.
+	rot(1, HeaderSize)
+	if _, err := s.Get(key); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("3 rotted shards: want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestStoreGetRange(t *testing.T) {
+	for _, g := range [][2]int{{1, 1}, {3, 2}, {4, 2}} {
+		s, _ := newTestTier(t, g[0], g[1])
+		rng := rand.New(rand.NewSource(5))
+		data := make([]byte, 10_000)
+		rng.Read(data)
+		key := "containers/r.data"
+		if err := s.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+		cases := [][2]int64{{0, 10}, {0, 10_000}, {9_990, 10}, {2_400, 3_000}, {5_000, -1}, {0, 0}, {10_000, 5}}
+		for _, c := range cases {
+			got, err := s.GetRange(key, c[0], c[1])
+			if err != nil {
+				t.Fatalf("RS(%d+%d) range %v: %v", g[0], g[1], c, err)
+			}
+			end := int64(len(data))
+			if c[1] >= 0 && c[0]+c[1] < end {
+				end = c[0] + c[1]
+			}
+			if !bytes.Equal(got, data[c[0]:end]) {
+				t.Fatalf("RS(%d+%d) range %v: content mismatch (%d bytes)", g[0], g[1], c, len(got))
+			}
+		}
+		if _, err := s.GetRange(key, 10_001, 5); err == nil {
+			t.Fatal("offset past end must error")
+		}
+		// Degraded ranged read: kill a backend holding a covering shard;
+		// the fallback must still return exact bytes.
+		s.Backends()[0].Faulty.SetOutage(true)
+		got, err := s.GetRange(key, 10, 50)
+		if err != nil || !bytes.Equal(got, data[10:60]) {
+			t.Fatalf("RS(%d+%d) degraded range: err=%v", g[0], g[1], err)
+		}
+		s.Backends()[0].Faulty.SetOutage(false)
+	}
+}
+
+func TestStoreHeadDeleteList(t *testing.T) {
+	s, mem := newTestTier(t, 2, 2)
+	keys := []string{"containers/a.data", "containers/a.meta", "containers/b.data"}
+	for i, k := range keys {
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i)}, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Head(keys[1]); err != nil || n != 101 {
+		t.Fatalf("Head = %d, %v; want 101", n, err)
+	}
+	got, err := s.List("containers/")
+	if err != nil || !reflect.DeepEqual(got, keys) {
+		t.Fatalf("List = %v, %v", got, err)
+	}
+	// One backend down: listing still sees every stripe.
+	s.Backends()[3].Faulty.SetOutage(true)
+	if got, err = s.List("containers/"); err != nil || !reflect.DeepEqual(got, keys) {
+		t.Fatalf("List with outage = %v, %v", got, err)
+	}
+	// Delete during an outage fails loudly (no resurrectable shards left
+	// behind silently)…
+	if err := s.Delete(keys[0]); err == nil {
+		t.Fatal("delete during outage must fail")
+	}
+	s.Backends()[3].Faulty.SetOutage(false)
+	// …and succeeds after the heal, clearing every backend.
+	if err := s.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mem.Get(shardKey(i, keys[0])); !errors.Is(err, oss.ErrNotFound) {
+			t.Fatalf("backend %d still holds a deleted shard", i)
+		}
+	}
+	if _, err := s.Get(keys[0]); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatalf("deleted object still readable: %v", err)
+	}
+}
+
+// TestStoreRepair damages shards every way the scrub can meet them —
+// missing object, rotted payload, whole-backend outage — and checks
+// Repair rewrites byte-identical shard objects.
+func TestStoreRepair(t *testing.T) {
+	const k, m = 4, 2
+	s, mem := newTestTier(t, k, m)
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 30_000)
+	rng.Read(data)
+	key := "containers/rep.data"
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	pristine := make(map[int][]byte)
+	for i := 0; i < k+m; i++ {
+		raw, err := mem.Get(shardKey(i, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pristine[i] = raw
+	}
+
+	// Healthy stripe: Check reports full redundancy, Repair is a no-op.
+	h, err := s.Check(key)
+	if err != nil || h.Present != k+m || len(h.Bad) != 0 || !h.Recoverable {
+		t.Fatalf("healthy Check = %+v, %v", h, err)
+	}
+	if n, err := s.Repair(key); err != nil || n != 0 {
+		t.Fatalf("healthy Repair = %d, %v", n, err)
+	}
+
+	// Damage two shards: delete one, rot another.
+	if err := mem.Delete(shardKey(1, key)); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), pristine[4]...)
+	raw[HeaderSize+5] ^= 0x55
+	if err := mem.Put(shardKey(4, key), raw); err != nil {
+		t.Fatal(err)
+	}
+	h, err = s.Check(key)
+	if err != nil || h.Present != k+m-2 || !reflect.DeepEqual(h.Bad, []int{1, 4}) || !h.Recoverable {
+		t.Fatalf("degraded Check = %+v, %v", h, err)
+	}
+	if n, err := s.Repair(key); err != nil || n != 2 {
+		t.Fatalf("Repair = %d, %v", n, err)
+	}
+	for i := 0; i < k+m; i++ {
+		raw, err := mem.Get(shardKey(i, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, pristine[i]) {
+			t.Fatalf("repaired shard %d is not byte-identical to the original", i)
+		}
+	}
+
+	// Repair with a backend down rewrites what it can and reports the
+	// rest.
+	if err := mem.Delete(shardKey(2, key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Delete(shardKey(3, key)); err != nil {
+		t.Fatal(err)
+	}
+	s.Backends()[3].Faulty.SetOutage(true)
+	n, err := s.Repair(key)
+	if n != 1 || err == nil {
+		t.Fatalf("partial repair = %d, %v; want 1 shard and an error", n, err)
+	}
+	s.Backends()[3].Faulty.SetOutage(false)
+	if n, err = s.Repair(key); n != 1 || err != nil {
+		t.Fatalf("post-heal repair = %d, %v", n, err)
+	}
+	if !bytes.Equal(mustGet(t, mem, shardKey(3, key)), pristine[3]) {
+		t.Fatal("post-heal repaired shard differs")
+	}
+
+	// Beyond M losses: Repair refuses loudly.
+	for i := 0; i < m+1; i++ {
+		if err := mem.Delete(shardKey(i, key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Repair(key); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("unrecoverable Repair: want ErrInsufficient, got %v", err)
+	}
+}
+
+// TestStoreStaleGeneration overwrites an object, then resurrects one old
+// shard: reads must serve the new generation and Repair must rewrite the
+// stale shard.
+func TestStoreStaleGeneration(t *testing.T) {
+	const k, m = 2, 2
+	s, mem := newTestTier(t, k, m)
+	key := "containers/gen.data"
+	v1 := bytes.Repeat([]byte("one"), 500)
+	v2 := bytes.Repeat([]byte("twotwo"), 400)
+	if err := s.Put(key, v1); err != nil {
+		t.Fatal(err)
+	}
+	old := mustGet(t, mem, shardKey(0, key))
+	if err := s.Put(key, v2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustGet(t, mem, shardKey(0, key))
+	if err := mem.Put(shardKey(0, key), old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("read with stale shard: err=%v, served old generation=%v", err, bytes.Equal(got, v1))
+	}
+	h, err := s.Check(key)
+	if err != nil || h.Present != k+m-1 || !reflect.DeepEqual(h.Bad, []int{0}) {
+		t.Fatalf("Check with stale shard = %+v, %v", h, err)
+	}
+	if n, err := s.Repair(key); err != nil || n != 1 {
+		t.Fatalf("Repair = %d, %v", n, err)
+	}
+	if !bytes.Equal(mustGet(t, mem, shardKey(0, key)), fresh) {
+		t.Fatal("repair did not restore the current generation")
+	}
+}
+
+// TestStoreAccounting pins the metering contract: per-shard I/O lands on
+// the view's account under each backend's cost model, and degraded reads
+// charge PhaseECReconstruct CPU.
+func TestStoreAccounting(t *testing.T) {
+	const k, m = 2, 1
+	mem := oss.NewMem()
+	costs := simclock.DefaultCosts()
+	set := oss.NewBackendSet(mem, k+m, costs, nil)
+	base, err := NewStore(set, k, m, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := simclock.NewAccount()
+	s := base.WithAccount(acct)
+	data := make([]byte, 10_000)
+	if err := s.Put("containers/x.data", data); err != nil {
+		t.Fatal(err)
+	}
+	io := acct.IO()
+	if io.Writes != int64(k+m) {
+		t.Fatalf("Put charged %d writes, want %d", io.Writes, k+m)
+	}
+	perShard := int64(base.Codec().ShardSize(len(data)) + Overhead)
+	if io.WriteBytes != int64(k+m)*perShard {
+		t.Fatalf("Put charged %d write bytes, want %d", io.WriteBytes, int64(k+m)*perShard)
+	}
+	if cpu := acct.CPUPhase(simclock.PhaseECReconstruct); cpu <= 0 {
+		t.Fatal("parity generation charged no EC CPU")
+	}
+
+	acct.Reset()
+	if _, err := s.Get("containers/x.data"); err != nil {
+		t.Fatal(err)
+	}
+	if io = acct.IO(); io.Reads != int64(k) {
+		t.Fatalf("healthy Get charged %d reads, want %d", io.Reads, k)
+	}
+	if acct.CPUPhase(simclock.PhaseECReconstruct) != 0 {
+		t.Fatal("healthy Get charged reconstruction CPU")
+	}
+
+	acct.Reset()
+	s.Backends()[0].Faulty.SetOutage(true)
+	if _, err := s.Get("containers/x.data"); err != nil {
+		t.Fatal(err)
+	}
+	if acct.CPUPhase(simclock.PhaseECReconstruct) <= 0 {
+		t.Fatal("degraded Get charged no reconstruction CPU")
+	}
+	// The unmetered base view shares stats but charges nothing.
+	if _, err := base.Get("containers/x.data"); err != nil {
+		t.Fatal(err)
+	}
+	if st := base.Stats(); st.DegradedReads != 2 {
+		t.Fatalf("views do not share stats: %+v", st)
+	}
+}
+
+func TestRouter(t *testing.T) {
+	mem := oss.NewMem()
+	set := oss.NewBackendSet(mem, 3, simclock.DefaultCosts(), nil)
+	tier, err := NewStore(set, 2, 1, simclock.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(tier, mem, "containers/", "quarantine/")
+	if err := r.Put("containers/c.data", []byte("striped")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("recipes/f/1", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	// The striped key must not exist as a plain base object; the plain key
+	// must.
+	if _, err := mem.Get("containers/c.data"); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatal("routed key leaked to the plain store")
+	}
+	if _, err := mem.Get("ec/b0/containers/c.data"); err != nil {
+		t.Fatalf("striped shard missing: %v", err)
+	}
+	if _, err := mem.Get("recipes/f/1"); err != nil {
+		t.Fatalf("plain key missing: %v", err)
+	}
+	for _, key := range []string{"containers/c.data", "recipes/f/1"} {
+		if _, err := r.Get(key); err != nil {
+			t.Fatalf("router Get %s: %v", key, err)
+		}
+	}
+	// A broad listing merges both sides and hides physical shard keys.
+	keys, err := r.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"containers/c.data", "recipes/f/1"}) {
+		t.Fatalf("merged List = %v", keys)
+	}
+	if keys, err = r.List("containers/"); err != nil || !reflect.DeepEqual(keys, []string{"containers/c.data"}) {
+		t.Fatalf("routed List = %v, %v", keys, err)
+	}
+	if err := r.Delete("containers/c.data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("containers/c.data"); !errors.Is(err, oss.ErrNotFound) {
+		t.Fatal("routed delete did not take")
+	}
+}
+
+func mustGet(t *testing.T, mem *oss.Mem, key string) []byte {
+	t.Helper()
+	b, err := mem.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package gnode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"slimstore/internal/container"
+	"slimstore/internal/core"
+	"slimstore/internal/lnode"
+	"slimstore/internal/oss"
+)
+
+func ecConfig() core.Config {
+	cfg := testConfig()
+	cfg.ECDataShards = 2
+	cfg.ECParityShards = 2
+	return cfg
+}
+
+func ecSetup(t *testing.T) (*lnode.LNode, *GNode, *core.Repo, *oss.Mem) {
+	t.Helper()
+	mem := oss.NewMem()
+	repo, err := core.OpenRepo(mem, ecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lnode.New(repo, "l0"), New(repo), repo, mem
+}
+
+// killBackend deletes every shard object a backend holds, simulating the
+// total loss of one fault domain.
+func killBackend(t *testing.T, mem *oss.Mem, i int) int {
+	t.Helper()
+	keys, err := mem.List(oss.BackendPrefix(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := mem.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(keys)
+}
+
+// TestBackupRestoreWithEC proves the striped tier is transparent to the
+// backup/restore pipeline, including while ≤ M backends are dark.
+func TestBackupRestoreWithEC(t *testing.T) {
+	ln, _, repo, mem := ecSetup(t)
+	data := genData(11, 1<<20)
+	st, err := ln.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.NewContainers) == 0 {
+		t.Fatal("backup created no containers")
+	}
+	// No plain container objects may exist: everything is striped.
+	plain, err := mem.List(container.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 0 {
+		t.Fatalf("container keys stored outside the EC tier: %v", plain)
+	}
+	if got := restoreBytes(t, ln, "f", st.Version); !bytesEqual(got, data) {
+		t.Fatal("healthy EC restore not byte-identical")
+	}
+	// Any two of four backends dark (M=2): restores still exact.
+	for _, down := range [][]int{{0}, {3}, {0, 1}, {1, 3}} {
+		for _, i := range down {
+			repo.EC.Backends()[i].Faulty.SetOutage(true)
+		}
+		if got := restoreBytes(t, ln, "f", st.Version); !bytesEqual(got, data) {
+			t.Fatalf("restore with backends %v down not byte-identical", down)
+		}
+		for _, i := range down {
+			repo.EC.Backends()[i].Faulty.SetOutage(false)
+		}
+	}
+}
+
+// TestScrubRepairsECStripes loses a whole backend plus a rotted shard on
+// another, runs Scrub, and requires every stripe rebuilt to full K+M
+// redundancy with byte-identical restores.
+func TestScrubRepairsECStripes(t *testing.T) {
+	ln, gn, repo, mem := ecSetup(t)
+	data := genData(12, 1<<20)
+	st, err := ln.Backup("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lost := killBackend(t, mem, 1)
+	if lost == 0 {
+		t.Fatal("backend 1 held no shards")
+	}
+	// Rot one shard payload on another backend.
+	keys, err := mem.List(oss.BackendPrefix(2) + container.Prefix)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("no shards on backend 2: %v", err)
+	}
+	var rotted string
+	for _, k := range keys {
+		if strings.HasSuffix(k, ".data") {
+			rotted = k
+			break
+		}
+	}
+	raw := mustGetMem(t, mem, rotted)
+	raw[len(raw)-5] ^= 0xFF
+	if err := mem.Put(rotted, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ECStripesChecked == 0 || sc.ECDegradedStripes == 0 {
+		t.Fatalf("scrub saw no degraded stripes: %+v", sc)
+	}
+	if sc.ECRepairedShards < lost+1 {
+		t.Fatalf("scrub repaired %d shards, want >= %d", sc.ECRepairedShards, lost+1)
+	}
+	if sc.ECRepairFailures != 0 || sc.ECUnrecoverable != 0 {
+		t.Fatalf("scrub reported failures: %+v", sc)
+	}
+	// The chunk-level pass must see no damage: EC repair runs first and
+	// reconstruction is byte-exact.
+	if sc.CorruptChunks != 0 || len(sc.Quarantined) != 0 || len(sc.Lost) != 0 {
+		t.Fatalf("EC damage leaked into the chunk pass: %+v", sc)
+	}
+
+	// Full redundancy restored: every stripe healthy on every backend.
+	ecs := repo.ECFor(nil)
+	ids, err := repo.Containers.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		for _, key := range []string{container.DataKey(id), container.MetaKey(id)} {
+			h, err := ecs.Check(key)
+			if errors.Is(err, oss.ErrNotFound) {
+				continue
+			}
+			if err != nil || len(h.Bad) != 0 || h.Present != 4 {
+				t.Fatalf("stripe %s not fully repaired: %+v, %v", key, h, err)
+			}
+		}
+	}
+	if got := restoreBytes(t, ln, "f", st.Version); !bytesEqual(got, data) {
+		t.Fatal("restore after repair not byte-identical")
+	}
+	// A second scrub finds nothing degraded.
+	sc2, err := gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.ECDegradedStripes != 0 || sc2.ECRepairedShards != 0 {
+		t.Fatalf("second scrub still repairing: %+v", sc2)
+	}
+}
+
+// TestScrubECRepairFailure keeps a backend dark through the scrub: the
+// pass repairs what it can, counts the failure, and a later scrub (after
+// the outage lifts) completes the rebuild.
+func TestScrubECRepairFailure(t *testing.T) {
+	ln, gn, repo, mem := ecSetup(t)
+	data := genData(13, 512<<10)
+	if _, err := ln.Backup("f", data); err != nil {
+		t.Fatal(err)
+	}
+	killBackend(t, mem, 0)
+	repo.EC.Backends()[0].Faulty.SetOutage(true)
+	sc, err := gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ECDegradedStripes == 0 || sc.ECRepairFailures == 0 {
+		t.Fatalf("outage scrub did not count repair failures: %+v", sc)
+	}
+	repo.EC.Backends()[0].Faulty.SetOutage(false)
+	sc, err = gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ECRepairedShards == 0 || sc.ECRepairFailures != 0 {
+		t.Fatalf("post-heal scrub did not finish the rebuild: %+v", sc)
+	}
+	sc, err = gn.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ECDegradedStripes != 0 {
+		t.Fatalf("stripes still degraded after heal: %+v", sc)
+	}
+}
+
+func mustGetMem(t *testing.T, mem *oss.Mem, key string) []byte {
+	t.Helper()
+	b, err := mem.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

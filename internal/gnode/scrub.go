@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"slimstore/internal/container"
 	"slimstore/internal/fingerprint"
@@ -24,6 +25,16 @@ type ScrubStats struct {
 	IndexRepointed    int // global-index entries moved to surviving copies
 	IndexPurged       int // global-index entries for unrecoverable chunks
 	JournalReplayed   int
+
+	// Redundancy-tier counters (zero when the EC tier is off). The EC
+	// pass runs before chunk verification: every container stripe is
+	// checked across all K+M backends and degraded-but-recoverable
+	// stripes are rebuilt to full redundancy.
+	ECStripesChecked  int // striped objects checked across all backends
+	ECDegradedStripes int // stripes missing at least one healthy shard
+	ECRepairedShards  int // shards reconstructed and rewritten
+	ECRepairFailures  int // stripes whose rewrite failed (backend still down)
+	ECUnrecoverable   int // stripes below K shards (left to quarantine/salvage)
 
 	// Quarantined lists containers moved out of the live namespace:
 	// unreadable metadata, missing payload, or live corruption with no
@@ -74,6 +85,15 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 		return nil, fmt.Errorf("gnode: scrub: %w", err)
 	}
 
+	// Redundancy-tier repair first: rebuilding degraded stripes to full
+	// K+M redundancy lets the chunk-level verification below read through
+	// clean stripes instead of paying degraded reconstructions, and
+	// restores full fault tolerance before anything else runs.
+	ecStats, err := g.ecRepair()
+	if err != nil {
+		return nil, fmt.Errorf("gnode: scrub: %w", err)
+	}
+
 	const maxOptimistic = 2
 	for attempt := 0; ; attempt++ {
 		locked := attempt >= maxOptimistic
@@ -101,8 +121,84 @@ func (g *GNode) Scrub() (*ScrubStats, error) {
 			return nil, err
 		}
 		stats.JournalReplayed = replayed
+		stats.ECStripesChecked = ecStats.checked
+		stats.ECDegradedStripes = ecStats.degraded
+		stats.ECRepairedShards = ecStats.repairedShards
+		stats.ECRepairFailures = ecStats.repairFailed
+		stats.ECUnrecoverable = ecStats.unrecoverable
 		return stats, nil
 	}
+}
+
+// ecRepairStats aggregates the redundancy-tier pass.
+type ecRepairStats struct {
+	checked, degraded, repairedShards, repairFailed, unrecoverable int
+}
+
+// ecRepair is the redundancy-tier pass of Scrub (DESIGN.md §12): every
+// container stripe is checked across all K+M backends, and degraded but
+// recoverable stripes are rebuilt to full redundancy. Each repair runs
+// under the container's stripe write lock (waiting out restores that
+// pinned it) and rewrites only missing, rotted, or stale shards with
+// byte-identical reconstructions — no logical change, so no journal
+// record or maintenance-epoch bump is needed, and a crash mid-repair
+// simply leaves fewer shards for the next scrub to rewrite. Stripes
+// below K healthy shards are counted unrecoverable and left to the
+// chunk-level quarantine/salvage machinery.
+func (g *GNode) ecRepair() (*ecRepairStats, error) {
+	st := &ecRepairStats{}
+	ecs := g.repo.ECFor(g.acct)
+	if ecs == nil {
+		return st, nil
+	}
+	cs := g.containers()
+	ids, err := cs.List()
+	if err != nil {
+		return nil, fmt.Errorf("ec repair: %w", err)
+	}
+	var mu sync.Mutex
+	err = g.forEach(len(ids), func(i int) error {
+		id := ids[i]
+		for _, key := range []string{container.DataKey(id), container.MetaKey(id)} {
+			h, err := ecs.Check(key)
+			if err != nil {
+				if errors.Is(err, oss.ErrNotFound) {
+					continue // half never written or already swept
+				}
+				return fmt.Errorf("ec check %s: %w", key, err)
+			}
+			mu.Lock()
+			st.checked++
+			mu.Unlock()
+			if len(h.Bad) == 0 {
+				continue
+			}
+			if !h.Recoverable {
+				mu.Lock()
+				st.degraded++
+				st.unrecoverable++
+				mu.Unlock()
+				continue
+			}
+			g.repo.CLocks.Lock(id)
+			n, rerr := ecs.Repair(key)
+			g.repo.CLocks.Unlock(id)
+			mu.Lock()
+			st.degraded++
+			st.repairedShards += n
+			if rerr != nil {
+				// Rewrite failed (backend still down): the stripe stays
+				// degraded for the next scrub — not fatal.
+				st.repairFailed++
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // scrubVerdict is one container's verification result.

@@ -1,8 +1,8 @@
 // determinism guards the virtual-time contract: simclock-charged packages
 // must compute identical results (stats, recipes, encoded artifacts)
 // given identical inputs, regardless of host, wall clock, or map seed.
-// Inside the charged packages (lnode, gnode, oss, jobs, bench, repl) it
-// flags:
+// Inside the charged packages (lnode, gnode, oss, jobs, bench, repl, ec)
+// it flags:
 //
 //   - time.Now / time.Since — wall clock leaking into charged paths;
 //   - package-level math/rand functions (rand.Intn, rand.Shuffle, …) —
@@ -33,6 +33,7 @@ var chargedPackages = map[string]bool{
 	"jobs":  true,
 	"bench": true,
 	"repl":  true, // replicated index groups charge failover downtime to simclock
+	"ec":    true, // erasure-coded tier charges shard I/O and reconstruction CPU
 }
 
 // allowedRandFuncs construct explicitly seeded generators and are

@@ -10,10 +10,16 @@ import (
 // ErrInjected marks failures produced by a Faulty store.
 var ErrInjected = errors.New("oss: injected fault")
 
+// Salts deriving the per-mode RNG streams from one seed (see Seed).
+const (
+	failSeedSalt    int64 = 0x5f3759df
+	corruptSeedSalt int64 = 0x2545f491
+)
+
 // Faulty wraps a Store and injects deterministic failures, for testing
 // error propagation and crash-recovery paths (a put that never lands, a
-// flaky read, a store that dies after N operations). All knobs are safe
-// for concurrent use.
+// flaky read, a store that dies after N operations, a whole backend going
+// dark). All knobs are safe for concurrent use.
 type Faulty struct {
 	inner Store
 
@@ -23,10 +29,15 @@ type Faulty struct {
 	putsLeft int             // if >= 0, number of Puts allowed before all fail
 	opCount  int64
 	corrupt  map[string]bool // keys whose reads return flipped bytes
+	down     bool            // whole-backend outage: every operation fails
 
-	// Probabilistic modes, driven by an injected deterministic RNG so the
-	// chaos harness and unit tests share one reproducible fault surface.
-	rng         *rand.Rand
+	// Probabilistic modes. Each mode draws from its own seeded RNG stream,
+	// and an armed mode draws exactly once per operation regardless of the
+	// other modes' settings or the targeted maps — so the fault schedule of
+	// one mode is a pure function of (its seed, the operation sequence) and
+	// composes deterministically with the others.
+	failRng     *rand.Rand
+	corruptRng  *rand.Rand
 	failRate    float64 // probability a Put/Get/GetRange fails
 	corruptRate float64 // probability a Get/GetRange returns flipped bytes
 }
@@ -72,12 +83,40 @@ func (f *Faulty) CorruptReads(key string) {
 	f.mu.Unlock()
 }
 
-// SetRand injects the RNG that drives the probabilistic modes. Pass a
-// seeded *rand.Rand for reproducible fault schedules; the rates default to
-// a fixed seed otherwise.
+// SetOutage switches the whole-backend outage mode: while down, every
+// operation (reads, writes, deletes, lists) fails with ErrInjected. This
+// models one fault domain of a multi-backend deployment going dark; the
+// erasure-coded tier must keep serving through it.
+func (f *Faulty) SetOutage(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// Outage reports whether the whole-backend outage mode is armed.
+func (f *Faulty) Outage() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// Seed arms both probabilistic RNG streams deterministically from one
+// seed. Each mode gets its own derived stream, so arming or disarming one
+// mode never perturbs the fault sequence of another.
+func (f *Faulty) Seed(seed int64) {
+	f.mu.Lock()
+	f.failRng = rand.New(rand.NewSource(seed ^ failSeedSalt))
+	f.corruptRng = rand.New(rand.NewSource(seed ^ corruptSeedSalt))
+	f.mu.Unlock()
+}
+
+// SetRand seeds the probabilistic modes from an injected RNG (two child
+// streams are derived, one per mode). Kept for callers that already hold
+// a *rand.Rand; Seed is the single-integer equivalent.
 func (f *Faulty) SetRand(r *rand.Rand) {
 	f.mu.Lock()
-	f.rng = r
+	f.failRng = rand.New(rand.NewSource(r.Int63()))
+	f.corruptRng = rand.New(rand.NewSource(r.Int63()))
 	f.mu.Unlock()
 }
 
@@ -97,18 +136,20 @@ func (f *Faulty) CorruptRate(p float64) {
 	f.mu.Unlock()
 }
 
-// roll returns true with probability p. Caller holds f.mu.
-func (f *Faulty) roll(p float64) bool {
+// roll draws from one mode's stream, returning true with probability p.
+// An armed mode (p > 0) draws exactly once per call. Caller holds f.mu.
+func (f *Faulty) roll(rng **rand.Rand, salt int64, p float64) bool {
 	if p <= 0 {
 		return false
 	}
-	if f.rng == nil {
-		f.rng = rand.New(rand.NewSource(1))
+	if *rng == nil {
+		*rng = rand.New(rand.NewSource(1 ^ salt))
 	}
-	return f.rng.Float64() < p
+	return (*rng).Float64() < p
 }
 
-// Clear disarms every fault, including the probabilistic rates.
+// Clear disarms every fault, including the probabilistic rates and the
+// outage mode.
 func (f *Faulty) Clear() {
 	f.mu.Lock()
 	f.failPuts = make(map[string]bool)
@@ -117,6 +158,7 @@ func (f *Faulty) Clear() {
 	f.putsLeft = -1
 	f.failRate = 0
 	f.corruptRate = 0
+	f.down = false
 	f.mu.Unlock()
 }
 
@@ -131,6 +173,12 @@ func (f *Faulty) putAllowed(key string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.opCount++
+	// Draw before any early return so the stream position depends only on
+	// the operation sequence, never on which fault fired.
+	failRoll := f.roll(&f.failRng, failSeedSalt, f.failRate)
+	if f.down {
+		return fmt.Errorf("%w: put %s (backend down)", ErrInjected, key)
+	}
 	if f.failPuts[key] {
 		return fmt.Errorf("%w: put %s", ErrInjected, key)
 	}
@@ -140,7 +188,7 @@ func (f *Faulty) putAllowed(key string) error {
 	if f.putsLeft > 0 {
 		f.putsLeft--
 	}
-	if f.roll(f.failRate) {
+	if failRoll {
 		return fmt.Errorf("%w: put %s (probabilistic)", ErrInjected, key)
 	}
 	return nil
@@ -150,13 +198,21 @@ func (f *Faulty) getCheck(key string) (corrupt bool, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.opCount++
+	// Both armed streams advance unconditionally: each mode's decision
+	// sequence is independent of the other mode's outcome and of the
+	// targeted maps, so schedules compose deterministically from one seed.
+	failRoll := f.roll(&f.failRng, failSeedSalt, f.failRate)
+	corruptRoll := f.roll(&f.corruptRng, corruptSeedSalt, f.corruptRate)
+	if f.down {
+		return false, fmt.Errorf("%w: get %s (backend down)", ErrInjected, key)
+	}
 	if f.failGets[key] {
 		return false, fmt.Errorf("%w: get %s", ErrInjected, key)
 	}
-	if f.roll(f.failRate) {
+	if failRoll {
 		return false, fmt.Errorf("%w: get %s (probabilistic)", ErrInjected, key)
 	}
-	return f.corrupt[key] || f.roll(f.corruptRate), nil
+	return f.corrupt[key] || corruptRoll, nil
 }
 
 // Put implements Store.
@@ -205,7 +261,11 @@ func (f *Faulty) Head(key string) (int64, error) {
 func (f *Faulty) Delete(key string) error {
 	f.mu.Lock()
 	f.opCount++
+	down := f.down
 	f.mu.Unlock()
+	if down {
+		return fmt.Errorf("%w: delete %s (backend down)", ErrInjected, key)
+	}
 	return f.inner.Delete(key)
 }
 
@@ -213,6 +273,10 @@ func (f *Faulty) Delete(key string) error {
 func (f *Faulty) List(prefix string) ([]string, error) {
 	f.mu.Lock()
 	f.opCount++
+	down := f.down
 	f.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("%w: list %s (backend down)", ErrInjected, prefix)
+	}
 	return f.inner.List(prefix)
 }

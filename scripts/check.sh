@@ -30,6 +30,11 @@ BENCH_RESTOREIO_OUT=/dev/null go run ./cmd/slimbench -exp restoreio >/dev/null
 # does-it-still-run check for the BENCH_repl.json artifact.
 BENCH_REPL_OUT=/dev/null go run ./cmd/slimbench -exp repl >/dev/null
 
+# Erasure-coding experiment smoke: the durability/cost/latency frontier
+# is deterministic and sub-second, so run it whole as a does-it-still-run
+# check for the BENCH_ec.json artifact.
+BENCH_EC_OUT=/dev/null go run ./cmd/slimbench -exp ec >/dev/null
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
@@ -40,4 +45,5 @@ if [ "$FUZZTIME" != "0s" ]; then
 	go test -run=NONE -fuzz='^FuzzRecipeRoundTrip$' -fuzztime "$FUZZTIME" ./internal/recipe/
 	go test -run=NONE -fuzz='^FuzzRecipeDecode$' -fuzztime "$FUZZTIME" ./internal/recipe/
 	go test -run=NONE -fuzz='^FuzzReplRecord$' -fuzztime "$FUZZTIME" ./internal/kvstore/
+	go test -run=NONE -fuzz='^FuzzECDecode$' -fuzztime "$FUZZTIME" ./internal/ec/
 fi
