@@ -25,7 +25,10 @@
 // select the global-index topology (DESIGN §11), and -ec-data K with
 // -ec-parity M arm the erasure-coded container tier (DESIGN §12); every
 // command against a repository must use the same values it was created
-// with.
+// with. -hash-workers, -pack-workers and -pack-budget tune the ingest
+// fast path (DESIGN §13), and -legacy-ingest falls back to the old
+// pipelined ingest for comparison; these affect performance only, not
+// the repository layout.
 package main
 
 import (
@@ -49,6 +52,10 @@ var (
 	globalReplicas = 1
 	ecData         = 0
 	ecParity       = 0
+	hashWorkers    = 0
+	packWorkers    = 0
+	packBudget     = int64(0)
+	legacyIngest   = false
 )
 
 func openSystem(repo string) (*slimstore.System, error) {
@@ -57,6 +64,16 @@ func openSystem(repo string) (*slimstore.System, error) {
 	cfg.GlobalReplicas = globalReplicas
 	cfg.ECDataShards = ecData
 	cfg.ECParityShards = ecParity
+	if hashWorkers != 0 {
+		cfg.HashWorkers = hashWorkers
+	}
+	if packWorkers != 0 {
+		cfg.PackWorkers = packWorkers
+	}
+	if packBudget != 0 {
+		cfg.PackBudgetBytes = packBudget
+	}
+	cfg.LegacyIngest = legacyIngest
 	switch {
 	case strings.HasPrefix(repo, "dir:"):
 		return slimstore.OpenDirectory(strings.TrimPrefix(repo, "dir:"), cfg)
@@ -132,6 +149,10 @@ func main() {
 	fs.IntVar(&globalReplicas, "replicas", 1, "replicas per index shard (2f+1; must match the repository layout)")
 	fs.IntVar(&ecData, "ec-data", 0, "erasure-coding data shards K (0 disables striping; must match the repository layout)")
 	fs.IntVar(&ecParity, "ec-parity", 0, "erasure-coding parity shards M (with -ec-data; must match the repository layout)")
+	fs.IntVar(&hashWorkers, "hash-workers", 0, "fingerprint worker-pool size (0 = default 4, negative = inline hashing)")
+	fs.IntVar(&packWorkers, "pack-workers", 0, "background container-sealing workers (0 = default 4, negative = synchronous writes)")
+	fs.Int64Var(&packBudget, "pack-budget", 0, "ingest buffer budget: max bytes of sealed containers in flight (0 = 3x pack-workers x container capacity)")
+	fs.BoolVar(&legacyIngest, "legacy-ingest", false, "use the pre-fast-path pipelined ingest (debugging/comparison)")
 
 	switch cmd {
 	case "backup":
@@ -145,7 +166,7 @@ func main() {
 		if name == "" {
 			name = *file
 		}
-		data, err := os.ReadFile(*file)
+		f, err := os.Open(*file)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -153,7 +174,8 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		st, err := sys.Backup(name, data)
+		st, err := sys.BackupStream(name, f)
+		f.Close()
 		if err != nil {
 			fatalf("%v", err)
 		}

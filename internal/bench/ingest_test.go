@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestIngestRegression is the BENCH_ingest.json gate:
+//   - virtual-time ingest on unique data at 4 workers must be >= 2x the
+//     legacy pipeline (the deterministic pipeline-model claim);
+//   - the pooled hand-off must allocate >= 10x less per pass than the
+//     legacy materialize-everything hand-off;
+//   - both pipelines must store identical bytes and chunk counts;
+//   - streaming residency must stay far below the input size;
+//   - wall-clock speedup is asserted only on hosts with enough cores
+//     (goroutines interleave rather than parallelise on 1-2 cores).
+func TestIngestRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration ingest sweep")
+	}
+	rep, err := RunIngest(context.Background(), []int{1, 4}, 8<<20, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var w4 *IngestPoint
+	for i := range rep.Points {
+		if rep.Points[i].Workers == 4 {
+			w4 = &rep.Points[i]
+		}
+		if !rep.Points[i].StoredBytesMatch {
+			t.Errorf("w=%d: legacy and fast pipelines stored different bytes/chunks", rep.Points[i].Workers)
+		}
+	}
+	if w4 == nil {
+		t.Fatal("no 4-worker point")
+	}
+
+	// Deterministic: the virtual pipeline model must show >= 2x at 4
+	// workers (measured ~4x: the legacy serial composition is write-bound,
+	// the fast pipeline overlaps writes across the pack workers).
+	if w4.FastVirtualMBps < 2*w4.LegacyVirtualMBps {
+		t.Errorf("virtual ingest at 4 workers: fast %.1f MB/s < 2x legacy %.1f MB/s",
+			w4.FastVirtualMBps, w4.LegacyVirtualMBps)
+	}
+
+	// Streaming residency: input must dwarf peak live heap.
+	if rep.Stream.InputOverRes < 1.5 {
+		t.Errorf("streaming ingest resident %.1f MiB is not O(window) for a %d MiB stream",
+			rep.Stream.PeakHeapMiB, rep.Stream.Bytes>>20)
+	}
+
+	if benchRace {
+		t.Log("allocation and wall-clock gates skipped under -race (instrumented counts)")
+		return
+	}
+	if rep.HandoffFastAllocs*10 > rep.HandoffLegacyAllocs {
+		t.Errorf("hand-off allocs: fast %.1f/pass is not 10x below legacy %.1f/pass",
+			rep.HandoffFastAllocs, rep.HandoffLegacyAllocs)
+	}
+	if runtime.NumCPU() >= 4 {
+		if w4.FastWallMBps < 2*w4.LegacyWallMBps {
+			t.Errorf("wall ingest at 4 workers: fast %.1f MB/s < 2x legacy %.1f MB/s",
+				w4.FastWallMBps, w4.LegacyWallMBps)
+		}
+	} else {
+		t.Logf("wall-clock gate skipped on %d-CPU host: fast %.1f MB/s vs legacy %.1f MB/s",
+			runtime.NumCPU(), w4.FastWallMBps, w4.LegacyWallMBps)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// benchRace gates numeric assertions that only mean anything without
+// race instrumentation (allocation counts, wall-clock ratios).
+const benchRace = false

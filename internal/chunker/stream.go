@@ -34,6 +34,17 @@ func NewStream(data []byte, c Cutter, acct *simclock.Account, costs simclock.Cos
 	return &Stream{data: data, cutter: c, acct: acct, costs: costs}
 }
 
+// Reset rewinds the stream onto a new buffer, keeping the cutter and
+// accounting configuration. Per-version streams reuse one Stream value
+// instead of reallocating; a reset stream produces exactly the cuts a
+// fresh NewStream over the same buffer would. The scanned/skipped
+// counters restart at zero.
+func (s *Stream) Reset(data []byte) {
+	s.data = data
+	s.pos = 0
+	s.scanned, s.skipped = 0, 0
+}
+
 // Pos returns the current offset.
 func (s *Stream) Pos() int { return s.pos }
 

@@ -381,6 +381,17 @@ func EncodeData(payload []byte) []byte {
 	return out
 }
 
+// appendFooter seals a payload into a v2 data object in place. The caller
+// guarantees cap(payload) >= len(payload)+FooterSize; the returned slice
+// shares payload's backing array, extended over the footer bytes.
+func appendFooter(payload []byte) []byte {
+	n := len(payload)
+	out := payload[:n+FooterSize]
+	binary.LittleEndian.PutUint32(out[n:], footerMagic)
+	binary.LittleEndian.PutUint32(out[n+4:], ChecksumOf(payload))
+	return out
+}
+
 // SplitData separates a raw data object into payload and footer status.
 // footerOK reports whether the footer magic and whole-payload CRC check
 // out; false with a valid length means at-rest rot (possibly confined to

@@ -9,46 +9,79 @@ import "sync"
 // and OSS PUT latency — with the hot loop, the way the paper's multipart
 // upload overlaps network with computation (§IV-A, Fig 2).
 //
+// Backpressure is explicit and two-level: the job queue bounds the
+// container count, and an optional byte budget bounds the payload bytes
+// sitting sealed-or-sealing ahead of the durability barrier — so a fast
+// dedup loop can never buffer unboundedly in front of slow uploads.
+//
 // Errors are sticky: the first failed write is remembered and returned by
 // Close; later writes still drain (they may succeed — each container is
-// an independent object) so the queue can never wedge.
+// an independent object) so the queue can never wedge. Written containers
+// have their payload buffers released back to the store's pool.
 type PackPool struct {
 	jobs chan *Container
 	wg   sync.WaitGroup
 
-	mu  sync.Mutex
-	err error
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int64 // payload bytes queued or being written
+	budget   int64 // 0 = no byte budget
+	err      error
 }
 
-// NewPackPool starts `workers` sealers writing through store. workers < 1
-// is treated as 1. The queue is bounded at 2×workers filled containers,
-// which also bounds the pipeline's extra memory (capacity × depth).
+// NewPackPool starts `workers` sealers writing through store with no byte
+// budget; the queue bound (2×workers containers) is the only backpressure,
+// matching the pre-budget behaviour.
 func NewPackPool(store *Store, workers int) *PackPool {
+	return NewPackPoolBudget(store, workers, 0)
+}
+
+// NewPackPoolBudget starts `workers` sealers writing through store.
+// workers < 1 is treated as 1. budget > 0 bounds the payload bytes
+// admitted ahead of the workers: Write blocks while the budget is
+// exhausted (a single container larger than the whole budget is still
+// admitted alone, so progress is always possible).
+func NewPackPoolBudget(store *Store, workers int, budget int64) *PackPool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &PackPool{jobs: make(chan *Container, 2*workers)}
+	p := &PackPool{jobs: make(chan *Container, 4*workers), budget: budget}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for c := range p.jobs {
-				if err := store.Write(c); err != nil {
-					p.mu.Lock()
-					if p.err == nil {
-						p.err = err
-					}
-					p.mu.Unlock()
+				sz := int64(len(c.Data))
+				err := store.Write(c)
+				store.Release(c)
+				p.mu.Lock()
+				if err != nil && p.err == nil {
+					p.err = err
 				}
+				p.inflight -= sz
+				p.cond.Broadcast()
+				p.mu.Unlock()
 			}
 		}()
 	}
 	return p
 }
 
-// Write enqueues a filled container. The caller must not touch c again.
-// Blocks when the queue is full (backpressure on the dedup loop).
-func (p *PackPool) Write(c *Container) { p.jobs <- c }
+// Write enqueues a filled container. The caller must not touch c again —
+// ownership (including the payload buffer, which is recycled after the
+// durable write) passes to the pool. Blocks while the queue is full or
+// the byte budget is exhausted (backpressure on the dedup loop).
+func (p *PackPool) Write(c *Container) {
+	sz := int64(len(c.Data))
+	p.mu.Lock()
+	for p.budget > 0 && p.inflight > 0 && p.inflight+sz > p.budget {
+		p.cond.Wait()
+	}
+	p.inflight += sz
+	p.mu.Unlock()
+	p.jobs <- c
+}
 
 // Close waits for every queued container to be written and returns the
 // first write error. The pool is not reusable afterwards.

@@ -1,0 +1,121 @@
+package container
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+// slowStore delays every data Put until released, so a test can hold the
+// pack workers mid-write and observe queue/budget backpressure.
+type slowStore struct {
+	oss.Store
+	mu      sync.Mutex
+	gate    chan struct{}
+	writing atomic.Int64
+}
+
+func (s *slowStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	gate := s.gate
+	s.mu.Unlock()
+	if gate != nil && bytes.HasSuffix([]byte(key), []byte(".data")) {
+		s.writing.Add(1)
+		<-gate
+	}
+	return s.Store.Put(key, data)
+}
+
+func fillContainer(t *testing.T, cs *Store, n int) *Container {
+	t.Helper()
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fp := fingerprint.Of(fingerprint.SHA1, payload)
+	return &Container{
+		Meta: Meta{
+			ID:       cs.AllocateID(),
+			DataSize: uint32(n),
+			Chunks:   []ChunkMeta{{FP: fp, Offset: 0, Size: uint32(n)}},
+		},
+		Data: payload,
+	}
+}
+
+// TestPackPoolBudgetBackpressure: with a byte budget, Write must block
+// while the in-flight payload bytes would exceed it, and unblock as
+// workers drain — and an oversized container must still be admitted when
+// the pool is empty (no deadlock).
+func TestPackPoolBudgetBackpressure(t *testing.T) {
+	slow := &slowStore{Store: oss.NewMem(), gate: make(chan struct{})}
+	cs, err := NewStore(slow, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const payload = 16 << 10
+	// Budget admits exactly two in-flight containers of this size.
+	p := NewPackPoolBudget(cs, 1, 2*(payload+1024))
+	p.Write(fillContainer(t, cs, payload))
+	p.Write(fillContainer(t, cs, payload))
+
+	third := make(chan struct{})
+	go func() {
+		p.Write(fillContainer(t, cs, payload)) // must block on the budget
+		close(third)
+	}()
+	select {
+	case <-third:
+		t.Fatal("third Write admitted beyond the byte budget")
+	default:
+	}
+	// Release the worker: each completed write frees budget for the next.
+	close(slow.gate)
+	slow.mu.Lock()
+	slow.gate = nil
+	slow.mu.Unlock()
+	<-third
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oversized container on an idle pool: admitted alone.
+	p2 := NewPackPoolBudget(cs, 1, 1024)
+	p2.Write(fillContainer(t, cs, payload))
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackPoolWritesLand: everything queued before Close is durable after.
+func TestPackPoolWritesLand(t *testing.T) {
+	mem := oss.NewMem()
+	cs, err := NewStore(mem, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPackPoolBudget(cs, 4, 48<<10)
+	var ids []ID
+	for i := 0; i < 16; i++ {
+		c := fillContainer(t, cs, 8<<10)
+		ids = append(ids, c.Meta.ID)
+		p.Write(c)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		m, err := cs.ReadMeta(id)
+		if err != nil {
+			t.Fatalf("container %v not durable: %v", id, err)
+		}
+		if len(m.Chunks) != 1 {
+			t.Fatalf("container %v: %d chunks, want 1", id, len(m.Chunks))
+		}
+	}
+}

@@ -50,6 +50,42 @@ type storeShared struct {
 	metaCache map[ID]*Meta // small write-through cache of container metadata
 	metaCap   int
 	inval     []func(ID) // invalidation subscribers (shared restore cache)
+
+	// bufPool recycles container payload buffers between builders and the
+	// pack stage. Buffers are sized capacity+FooterSize so Write can seal
+	// the data-object footer in place without the EncodeData copy.
+	bufPool sync.Pool
+}
+
+// getBuf returns an empty payload buffer with room for the footer.
+func (sh *storeShared) getBuf() []byte {
+	if v := sh.bufPool.Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, sh.capacity+FooterSize)
+}
+
+// putBuf recycles a payload buffer. Foreign buffers (a chunk larger than
+// the capacity forced a reallocation, or the container was built outside
+// this store's builder) are left to the garbage collector.
+func (sh *storeShared) putBuf(b []byte) {
+	if cap(b) != sh.capacity+FooterSize {
+		return
+	}
+	sh.bufPool.Put(b[:0]) //nolint — []byte in a Pool boxes once per put; containers are MBs, the box is bytes
+}
+
+// Release returns a written container's payload buffer to the store's
+// pool. Callers must not touch the container's Data afterwards; the
+// pack stage calls this after the durable write, the synchronous builder
+// path after Write returns. The OSS Put contract (oss.Store) guarantees
+// no implementation retains the buffer.
+func (s *Store) Release(c *Container) {
+	if c == nil || c.Data == nil {
+		return
+	}
+	s.shared.putBuf(c.Data)
+	c.Data = nil
 }
 
 // OnInvalidate registers fn to run after any operation that changes or
@@ -154,9 +190,21 @@ func (s *Store) Write(c *Container) error {
 	if err := c.Seal(); err != nil {
 		return err
 	}
-	if err := s.oss.Put(dataKey(c.Meta.ID), EncodeData(c.Data)); err != nil {
+	// Seal the data object in place when the payload buffer has footer
+	// headroom (builder buffers always do): the footer is appended into
+	// the same allocation and the payload view restored afterwards, so
+	// the hot path writes containers with zero payload copies.
+	payload := c.Data
+	var enc []byte
+	if cap(payload) >= len(payload)+FooterSize {
+		enc = appendFooter(payload)
+	} else {
+		enc = EncodeData(payload)
+	}
+	if err := s.oss.Put(dataKey(c.Meta.ID), enc); err != nil {
 		return fmt.Errorf("container %s: write data: %w", c.Meta.ID, err)
 	}
+	c.Data = payload
 	if err := s.oss.Put(metaKey(c.Meta.ID), EncodeMeta(&c.Meta)); err != nil {
 		return fmt.Errorf("container %s: write meta: %w", c.Meta.ID, err)
 	}
@@ -439,7 +487,7 @@ func (b *Builder) ensure() {
 	if b.cur == nil {
 		b.cur = &Container{
 			Meta: Meta{ID: b.store.AllocateID()},
-			Data: make([]byte, 0, b.store.shared.capacity),
+			Data: b.store.shared.getBuf(),
 		}
 	}
 }
@@ -476,6 +524,7 @@ func (b *Builder) Flush() error {
 
 func (b *Builder) flushLocked() error {
 	if b.cur == nil || len(b.cur.Meta.Chunks) == 0 {
+		b.store.Release(b.cur)
 		b.cur = nil
 		return nil
 	}
@@ -484,5 +533,7 @@ func (b *Builder) flushLocked() error {
 	if b.sink != nil {
 		return b.sink(c)
 	}
-	return b.store.Write(c)
+	err := b.store.Write(c)
+	b.store.Release(c)
+	return err
 }

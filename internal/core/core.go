@@ -110,6 +110,28 @@ type Config struct {
 	// off (their skip cuts make boundaries depend on dedup decisions).
 	// 0 selects the default (4); negative hashes inline.
 	HashWorkers int
+	// LegacyIngest selects the pre-fast-path pipelined ingest on the
+	// content-defined path: materialize every chunk into one []Chunk,
+	// spawn hash workers per call, probe the dedup cache chunk-by-chunk.
+	// Default false — the pooled ring fast path (DESIGN.md §13). The
+	// ingest benchmark uses this as its measured baseline, the way
+	// DisableRangedReads serves the restoreio experiment.
+	LegacyIngest bool
+	// InlineGlobalProbe extends the fast ingest path with batched probes
+	// of the global fingerprint index: chunks that miss the job's local
+	// dedup cache are looked up in the global index (one GetBatch per
+	// ring batch) and recorded as duplicates on a hit. Default false —
+	// the paper's design performs global deduplication offline on the
+	// G-node; enabling this trades index traffic on the backup path for
+	// catching cross-file duplicates the similarity detector misses.
+	// Only hits containers the G-node has already indexed.
+	InlineGlobalProbe bool
+	// PackBudgetBytes bounds the payload bytes of filled containers that
+	// may sit sealed-or-sealing ahead of the pack workers (queued plus
+	// in-flight), the explicit backpressure of the pack stage. 0 selects
+	// the default 3 × PackWorkers × ContainerCapacity; negative disables
+	// the byte budget (the queue's container-count bound still applies).
+	PackBudgetBytes int64
 	// MaintWorkers is the fan-out width of G-node offline maintenance
 	// (reverse dedup scans, scrub verification, sweep marking, container
 	// rewrites). 0 selects the default (4); negative runs serially. Any
@@ -232,6 +254,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaintWorkers == 0 {
 		c.MaintWorkers = d.MaintWorkers
+	}
+	if c.PackBudgetBytes == 0 && c.PackWorkers > 0 {
+		c.PackBudgetBytes = 3 * int64(c.PackWorkers) * int64(c.ContainerCapacity)
 	}
 	if c.GlobalShards <= 0 {
 		c.GlobalShards = 1

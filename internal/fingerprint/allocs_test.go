@@ -1,0 +1,22 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOfAllocs: Of runs once per chunk on the ingest hot path and must
+// stay allocation-free for both algorithms.
+func TestOfAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	buf := make([]byte, 8<<10)
+	r.Read(buf)
+	for _, alg := range []Algorithm{SHA1, SHA256} {
+		allocs := testing.AllocsPerRun(100, func() {
+			Of(alg, buf)
+		})
+		if allocs != 0 {
+			t.Errorf("Of(%v) allocates %.1f/op, want 0", alg, allocs)
+		}
+	}
+}

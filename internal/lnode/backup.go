@@ -12,7 +12,9 @@ package lnode
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"slimstore/internal/chunker"
@@ -28,6 +30,13 @@ import (
 type LNode struct {
 	repo *core.Repo
 	name string
+
+	// Ingest fast-path resources (hashpool.go, ingest.go): a persistent
+	// fingerprint worker pool and recycled pipeline runs.
+	mu     sync.Mutex
+	hpool  *hashPool
+	closed bool
+	runs   sync.Pool // *ingestRun
 }
 
 // New returns an L-node. name is informational (logs, stats).
@@ -57,6 +66,9 @@ type BackupStats struct {
 	SuperHits, SuperMisses, NewSuperchunks int
 
 	SegmentsFetched int
+	// Inline global-index probing (Config.InlineGlobalProbe): fingerprints
+	// probed against the global index and duplicates found there.
+	GlobalProbes, GlobalHits int
 	// Base file detection (STEP 1): "name", "similarity", or "none".
 	BaseBy      string
 	BaseFile    string
@@ -123,6 +135,11 @@ type backupJob struct {
 	data      []byte
 	sampled   []fingerprint.FP // sampled fingerprints for the sketch
 	lastMatch *dedupEntry
+
+	// Fast-path scratch, reused across batches (ingest.go).
+	verdicts []probeVerdict
+	gfps     []fingerprint.FP
+	gidx     []int
 }
 
 type pendingRec struct {
@@ -130,18 +147,9 @@ type pendingRec struct {
 	off int64
 }
 
-// Backup deduplicates one input file version and persists containers,
-// recipe, recipe index, similarity sketch, and catalog entry.
-func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
-	if fileID == "" {
-		return nil, fmt.Errorf("lnode: empty file ID")
-	}
-	// Exclusive file lock: concurrent backups of the same file would race on
-	// version allocation, and restores must see a complete version chain.
-	// Different files proceed in parallel (striped by file ID).
-	n.repo.Files.Lock(fileID)
-	defer n.repo.Files.Unlock(fileID)
-
+// newBackupJob builds the per-job pipeline state shared by Backup and
+// BackupStream. The caller must `defer j.drainPool()`.
+func (n *LNode) newBackupJob(data []byte) *backupJob {
 	acct := simclock.NewAccount()
 	cfg := &n.repo.Config
 	j := &backupJob{
@@ -160,20 +168,67 @@ func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
 		// Pack stage: filled containers seal and upload on background
 		// workers while the dedup loop continues (§IV-A's overlap of
 		// computation and multipart upload, realised with real threads).
-		j.pool = container.NewPackPool(j.containers, cfg.PackWorkers)
+		// The byte budget bounds payload bytes buffered ahead of the
+		// uploads, so ingest speed cannot outrun the write path unboundedly.
+		budget := cfg.PackBudgetBytes
+		if budget < 0 {
+			budget = 0
+		}
+		j.pool = container.NewPackPoolBudget(j.containers, cfg.PackWorkers, budget)
 		j.builder = container.NewBuilderAsync(j.containers, j.pool)
-		defer func() {
-			if j.pool != nil { // error path: drain workers before returning
-				//slimlint:ignore errdiscipline this deferred drain only runs when Backup is already returning the original error; persist() owns the success-path Close and checks it
-				j.pool.Close()
-			}
-		}()
 	} else {
 		j.builder = container.NewBuilder(j.containers)
 	}
+	j.stats.Account = acct
+	return j
+}
+
+// drainPool waits out the pack workers on error paths so no goroutine
+// outlives the job. persist() owns the success-path Close and nils j.pool.
+func (j *backupJob) drainPool() {
+	if j.pool != nil {
+		//slimlint:ignore errdiscipline this drain only runs when the job is already returning the original error; persist() owns the success-path Close and checks it
+		j.pool.Close()
+		j.pool = nil
+	}
+}
+
+// finish computes virtual elapsed time from the account.
+func (j *backupJob) finish() *BackupStats {
+	io := j.acct.IO()
+	cpu := j.acct.CPUTime()
+	// The backup pipeline overlaps three resources (paper §IV-A/Fig 2):
+	// segment-recipe prefetching (OSS reads), computation, and multipart
+	// container upload (OSS writes). Elapsed time is the longest of the
+	// three timelines; Fig 2's bottleneck flips from network (version 0
+	// uploads everything) to CPU (later versions upload little).
+	elapsed := cpu
+	if io.ReadTime > elapsed {
+		elapsed = io.ReadTime
+	}
+	if io.WriteTime > elapsed {
+		elapsed = io.WriteTime
+	}
+	j.stats.Elapsed = elapsed
+	return &j.stats
+}
+
+// Backup deduplicates one input file version and persists containers,
+// recipe, recipe index, similarity sketch, and catalog entry.
+func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
+	if fileID == "" {
+		return nil, fmt.Errorf("lnode: empty file ID")
+	}
+	// Exclusive file lock: concurrent backups of the same file would race on
+	// version allocation, and restores must see a complete version chain.
+	// Different files proceed in parallel (striped by file ID).
+	n.repo.Files.Lock(fileID)
+	defer n.repo.Files.Unlock(fileID)
+
+	j := n.newBackupJob(data)
+	defer j.drainPool()
 	j.stats.FileID = fileID
 	j.stats.LogicalBytes = int64(len(data))
-	j.stats.Account = acct
 
 	// STEP 1: detect the latest historical version by name, falling back
 	// to the similar file index.
@@ -191,23 +246,53 @@ func (n *LNode) Backup(fileID string, data []byte) (*BackupStats, error) {
 	if err := j.persist(fileID); err != nil {
 		return nil, err
 	}
+	return j.finish(), nil
+}
 
-	io := acct.IO()
-	cpu := acct.CPUTime()
-	// The backup pipeline overlaps three resources (paper §IV-A/Fig 2):
-	// segment-recipe prefetching (OSS reads), computation, and multipart
-	// container upload (OSS writes). Elapsed time is the longest of the
-	// three timelines; Fig 2's bottleneck flips from network (version 0
-	// uploads everything) to CPU (later versions upload little).
-	elapsed := cpu
-	if io.ReadTime > elapsed {
-		elapsed = io.ReadTime
+// BackupStream deduplicates one input version read from r without ever
+// materialising it: resident memory stays O(pipeline window) — head
+// probe + ring slabs + pack budget — regardless of input size. Requires
+// the fast-path configuration (history-aware cuts need random access to
+// the whole version); other configurations fall back to buffering the
+// stream and calling Backup.
+func (n *LNode) BackupStream(fileID string, rd io.Reader) (*BackupStats, error) {
+	cfg := &n.repo.Config
+	if cfg.SkipChunking || cfg.ChunkMerging || cfg.HashWorkers <= 0 || cfg.LegacyIngest {
+		data, err := io.ReadAll(rd)
+		if err != nil {
+			return nil, fmt.Errorf("lnode: read stream: %w", err)
+		}
+		return n.Backup(fileID, data)
 	}
-	if io.WriteTime > elapsed {
-		elapsed = io.WriteTime
+	if fileID == "" {
+		return nil, fmt.Errorf("lnode: empty file ID")
 	}
-	j.stats.Elapsed = elapsed
-	return &j.stats, nil
+	n.repo.Files.Lock(fileID)
+	defer n.repo.Files.Unlock(fileID)
+
+	// Base detection samples only the head (§IV-A) — the one part of the
+	// stream that must be buffered, and later re-cut as the stream prefix.
+	head := make([]byte, headBytes)
+	hn, err := io.ReadFull(rd, head)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("lnode: read stream head: %w", err)
+	}
+	head = head[:hn]
+
+	j := n.newBackupJob(nil)
+	defer j.drainPool()
+	j.stats.FileID = fileID
+
+	if err := j.detectBase(fileID, head); err != nil {
+		return nil, err
+	}
+	if err := j.dedupeStream(head, rd); err != nil {
+		return nil, err
+	}
+	if err := j.persist(fileID); err != nil {
+		return nil, err
+	}
+	return j.finish(), nil
 }
 
 // detectBase implements STEP 1 of §IV-A.
@@ -229,7 +314,6 @@ func (j *backupJob) detectBase(fileID string, data []byte) error {
 	// Name miss: sample the header chunks and query the similar file
 	// index (large files cannot be fully chunked in memory first, so only
 	// the head is sampled — §IV-A).
-	const headBytes = 8 << 20
 	head := data
 	if len(head) > headBytes {
 		head = head[:headBytes]
@@ -244,8 +328,14 @@ func (j *backupJob) detectBase(fileID string, data []byte) error {
 		}
 		chunks = append(chunks, ch)
 	}
+	var all []fingerprint.FP
+	if j.cfg.LegacyIngest {
+		all = hashChunks(j.cfg.FingerprintAlg, chunks, j.cfg.HashWorkers)
+	} else {
+		all = j.node.hashAll(j.cfg.FingerprintAlg, chunks)
+	}
 	var fps []fingerprint.FP
-	for _, fp := range hashChunks(j.cfg.FingerprintAlg, chunks, j.cfg.HashWorkers) {
+	for _, fp := range all {
 		if j.sampler.Sample(fp) {
 			fps = append(fps, fp)
 		}
@@ -357,9 +447,14 @@ func (j *backupJob) successor(e *dedupEntry) (dedupEntry, bool) {
 func (j *backupJob) dedupe() error {
 	// With both history-aware accelerations off, chunk boundaries no longer
 	// depend on dedup decisions, so chunking+fingerprinting can run as a
-	// parallel front stage (pipeline.go).
+	// parallel front stage: the pooled batch pipeline (ingest.go), or the
+	// materialize-everything legacy pipeline (pipeline.go) kept as the
+	// measured baseline behind Config.LegacyIngest.
 	if !j.cfg.SkipChunking && !j.cfg.ChunkMerging && j.cfg.HashWorkers > 0 {
-		return j.dedupePipelined()
+		if j.cfg.LegacyIngest {
+			return j.dedupeLegacy()
+		}
+		return j.dedupeFast()
 	}
 	cutter := j.node.repo.Cutter()
 	stream := chunker.NewStream(j.data, cutter, j.acct, j.cfg.Costs)

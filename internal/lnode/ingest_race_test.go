@@ -1,0 +1,13 @@
+//go:build race
+
+package lnode
+
+// Race-instrumented builds run TestBackupStreamResidentMemory on a
+// smaller stream (instrumentation slows cutting ~10x) with a laxer bound
+// (the race allocator pads allocations).
+const (
+	streamTestBytes = 64 << 20
+	streamHeapBound = 128 << 20
+
+	raceEnabled = true
+)

@@ -24,13 +24,23 @@ import (
 // independent of worker interleaving, and chunk boundaries, fingerprints,
 // and dedup decisions are computed exactly as in the serial path.
 
+// smallHashBatch is the per-worker chunk count below which spawning (or
+// feeding) workers costs more than hashing inline — measured by
+// BenchmarkHashChunksCrossover.
+const smallHashBatch = 2
+
 // hashChunks fingerprints chunks with a bounded worker pool, preserving
-// input order. workers <= 1 hashes inline. No simclock charges — callers
-// account for the pass themselves (the probe pass bills OtherPerByte).
+// input order. workers <= 1 hashes inline, as do inputs too small to
+// amortise the spawn (<= smallHashBatch chunks per worker). No simclock
+// charges — callers account for the pass themselves (the probe pass
+// bills OtherPerByte).
 func hashChunks(alg fingerprint.Algorithm, chunks []chunker.Chunk, workers int) []fingerprint.FP {
 	fps := make([]fingerprint.FP, len(chunks))
 	if workers > len(chunks) {
 		workers = len(chunks)
+	}
+	if workers > 1 && len(chunks) <= smallHashBatch*workers {
+		workers = 1
 	}
 	if workers <= 1 {
 		for i := range chunks {
@@ -57,11 +67,13 @@ func hashChunks(alg fingerprint.Algorithm, chunks []chunker.Chunk, workers int) 
 	return fps
 }
 
-// dedupePipelined is STEP 2 with the parallel front stage: cut the whole
-// stream (serial, cheap), fingerprint every chunk across HashWorkers
-// goroutines, then run the dedup lookups in order. Produces bit-identical
-// recipes and identical virtual-time totals to the serial path.
-func (j *backupJob) dedupePipelined() error {
+// dedupeLegacy is STEP 2 with the pre-fast-path parallel front stage: cut
+// the whole stream (serial, cheap), materialize every chunk, fingerprint
+// across HashWorkers per-call goroutines, then run the dedup lookups in
+// order. Produces bit-identical recipes to the serial path. Kept (behind
+// Config.LegacyIngest) as the measured baseline of the ingest experiment;
+// the default fast path is the pooled batch pipeline in ingest.go.
+func (j *backupJob) dedupeLegacy() error {
 	cutter := j.node.repo.Cutter()
 	stream := chunker.NewStream(j.data, cutter, j.acct, j.cfg.Costs)
 	var chunks []chunker.Chunk

@@ -27,7 +27,10 @@ var ErrNotFound = errors.New("oss: key not found")
 // Store is the object-store abstraction. Keys are slash-separated paths.
 // Implementations must be safe for concurrent use.
 type Store interface {
-	// Put stores an object, replacing any existing value.
+	// Put stores an object, replacing any existing value. Implementations
+	// must not retain data after Put returns (copy it, write it out, or
+	// send it) — callers recycle upload buffers, e.g. the container pack
+	// stage pools sealed payloads.
 	Put(key string, data []byte) error
 	// Get retrieves a whole object. The returned slice must not be
 	// modified by the caller if the implementation shares memory.

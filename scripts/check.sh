@@ -35,6 +35,10 @@ BENCH_REPL_OUT=/dev/null go run ./cmd/slimbench -exp repl >/dev/null
 # check for the BENCH_ec.json artifact.
 BENCH_EC_OUT=/dev/null go run ./cmd/slimbench -exp ec >/dev/null
 
+# Ingest fast-path experiment smoke: the worker sweep, hand-off
+# allocation counts, and streaming-residency row for BENCH_ingest.json.
+BENCH_INGEST_OUT=/dev/null go run ./cmd/slimbench -exp ingest >/dev/null
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).

@@ -189,6 +189,15 @@ func (s *System) Backup(fileID string, data []byte) (*BackupStats, error) {
 	return s.pick().Backup(fileID, data)
 }
 
+// BackupStream deduplicates and stores one version of a file read from
+// rd, holding O(window) memory instead of the whole file (DESIGN §13).
+// Configurations the streaming cutter cannot serve (skip chunking,
+// chunk merging, inline hashing) buffer the reader and fall back to
+// Backup.
+func (s *System) BackupStream(fileID string, rd io.Reader) (*BackupStats, error) {
+	return s.pick().BackupStream(fileID, rd)
+}
+
 // Restore streams a stored version to w.
 func (s *System) Restore(fileID string, version int, w io.Writer) (*RestoreStats, error) {
 	return s.pick().Restore(fileID, version, w)
