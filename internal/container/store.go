@@ -183,6 +183,10 @@ func (c *Container) Seal() error {
 // Write persists a container in format v2 (data then metadata, so a
 // metadata object never references missing data). Chunk checksums are
 // recomputed from the payload, so rewriting a v1 container upgrades it.
+// Write does not retain c or its payload: callers (the pack pool) hand
+// the container straight back to Release, which recycles c.Data.
+//
+//slimlint:contract noretain c
 func (s *Store) Write(c *Container) error {
 	if c.Meta.ID == Invalid {
 		return fmt.Errorf("container: write with invalid ID")

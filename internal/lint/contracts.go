@@ -1,0 +1,154 @@
+// Contract annotations. A function or interface method can declare that
+// it does not retain a parameter past the call:
+//
+//	//slimlint:contract noretain <param> [<param>...]
+//
+// on the declaration's doc comment (or, for interface methods, the
+// method's doc or trailing comment). Two things follow from a contract:
+//
+//   - every concrete implementation is checked (through the call graph)
+//     to actually not retain that parameter — storing it into a field,
+//     global, map, or channel, or forwarding it to a callee that
+//     retains, is a poolsafe finding at the implementation;
+//   - callers may pass pooled buffers to the contracted parameter and
+//     recycle them afterwards; the retention inference trusts the
+//     contract instead of recursing, which is what lets wrapper chains
+//     (Retry → Metered → Mem) terminate.
+//
+// The annotation is aimed at oss.Store.Put / container Store.Write
+// shaped APIs: hot paths that hand a pooled payload to a storage layer
+// and reuse the buffer the moment the call returns.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const contractPrefix = "slimlint:contract"
+
+// parseContracts scans every program package for contract annotations
+// and maps each annotated function/interface method to the indices of
+// its noretain parameters.
+func parseContracts(all []*Package) map[*types.Func][]int {
+	out := map[*types.Func][]int{}
+	add := func(fn *types.Func, params *ast.FieldList, names []string) {
+		for _, name := range names {
+			if idx := paramIndexByName(params, name); idx >= 0 {
+				out[fn] = append(out[fn], idx)
+			}
+		}
+	}
+	for _, p := range all {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch dd := d.(type) {
+				case *ast.FuncDecl:
+					if fn, ok := p.Info.Defs[dd.Name].(*types.Func); ok {
+						add(fn, dd.Type.Params, contractNames(dd.Doc))
+					}
+				case *ast.GenDecl:
+					for _, spec := range dd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						it, ok := ts.Type.(*ast.InterfaceType)
+						if !ok || it.Methods == nil {
+							continue
+						}
+						for _, m := range it.Methods.List {
+							if len(m.Names) == 0 {
+								continue // embedded interface
+							}
+							ft, ok := m.Type.(*ast.FuncType)
+							if !ok {
+								continue
+							}
+							names := append(contractNames(m.Doc), contractNames(m.Comment)...)
+							if fn, ok := p.Info.Defs[m.Names[0]].(*types.Func); ok {
+								add(fn, ft.Params, names)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// contractNames extracts the parameter names of every noretain contract
+// line in cg.
+func contractNames(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, contractPrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || fields[0] != "noretain" {
+			continue
+		}
+		names = append(names, fields[1:]...)
+	}
+	return names
+}
+
+// paramIndexByName maps a parameter name to its flattened index in the
+// field list, or -1.
+func paramIndexByName(params *ast.FieldList, name string) int {
+	if params == nil {
+		return -1
+	}
+	idx := 0
+	for _, f := range params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, nm := range f.Names {
+			if nm.Name == name {
+				return idx
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
+// contractParams returns fn's noretain parameter indices: its own plus
+// any inherited from program interface methods it implements (an
+// oss.Store implementation inherits the Put contract from the
+// interface).
+func (pr *program) contractParams(fn *types.Func) []int {
+	idx := append([]int(nil), pr.contracts[fn]...)
+	for _, im := range pr.graph.interfaceMethodsOf(fn) {
+		idx = append(idx, pr.contracts[im]...)
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range idx {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// contractCovers reports whether parameter j of fn is declared noretain.
+func (pr *program) contractCovers(fn *types.Func, j int) bool {
+	for _, i := range pr.contractParams(fn) {
+		if i == j {
+			return true
+		}
+	}
+	return false
+}

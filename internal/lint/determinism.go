@@ -62,7 +62,7 @@ func determinismAnalyzer() *Analyzer {
 	}
 }
 
-func runDeterminism(p *Package) []Finding {
+func runDeterminism(_ *program, p *Package) []Finding {
 	if !chargedPackages[p.Name] {
 		return nil
 	}

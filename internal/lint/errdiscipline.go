@@ -34,7 +34,7 @@ func errDisciplineAnalyzer() *Analyzer {
 	}
 }
 
-func runErrDiscipline(p *Package) []Finding {
+func runErrDiscipline(_ *program, p *Package) []Finding {
 	var findings []Finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,171 @@
+// goroutineleak flags `go` statements whose goroutine has no reachable
+// join or stop edge — the analyzer-shaped version of the pre-PR-5 cache
+// prefetcher bug, where a feeder goroutine blocked forever on a
+// semaphore send after its workers died.
+//
+// A goroutine is considered bounded if its body — or anything it calls
+// synchronously, resolved through the program call graph up to
+// maxSummaryDepth frames — contains at least one of:
+//
+//   - a WaitGroup join edge: a .Done() on a sync.WaitGroup object that
+//     some code, anywhere in the program, .Wait()s on (object identity:
+//     the field or variable, so p.wg pairs across methods and
+//     packages);
+//   - a stop edge: a receive from, or range over, a channel object that
+//     some code, anywhere in the program, close()s — the worker-pool
+//     `for j := range p.jobs` + `close(p.jobs)` idiom, and the
+//     `select { case <-p.stop: }` cancellation idiom;
+//   - a context stop edge: a receive from ctx.Done().
+//
+// Sends are deliberately NOT edges: the broken prefetcher's feeder also
+// ended with close(p.jobs), but on the error path it parked forever on
+// an unconditional `p.sem <-` send first. Only signals the goroutine
+// OBSERVES bound its lifetime.
+//
+// Package main is exempt: examples and commands own the process, and
+// process exit reaps everything.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func goroutineLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutineleak",
+		Doc:  "every go statement needs a reachable join or stop edge: a Done on a Waited WaitGroup, a receive/range over an ever-closed channel, or ctx.Done",
+		Run:  runGoroutineLeak,
+	}
+}
+
+func runGoroutineLeak(pr *program, p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !pr.goroutineHasExit(p, gs) {
+				findings = append(findings, p.finding("goroutineleak", gs.Pos(),
+					"goroutine has no reachable join or stop edge (no Done on a Waited WaitGroup, no receive from an ever-closed channel, no ctx.Done) — it can leak"))
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// goroutineHasExit resolves the spawned body (function literal or
+// declared callee, with interface fan-out) and scans it for an exit
+// edge.
+func (pr *program) goroutineHasExit(p *Package, gs *ast.GoStmt) bool {
+	visited := map[*types.Func]bool{}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return pr.scanForExit(p, lit.Body, visited, 0)
+	}
+	for _, e := range pr.graph.resolveCall(p, gs.Call) {
+		node := pr.graph.nodeFor(e.callee)
+		if node == nil {
+			continue
+		}
+		visited[e.callee] = true
+		if pr.scanForExit(node.pkg, node.decl.Body, visited, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanForExit looks for a join/stop edge anywhere in body, including
+// nested literals (deferred closures run on this goroutine) but
+// excluding the spawned bodies of further `go` statements (those run on
+// OTHER goroutines and bound their own lifetimes), and recursing into
+// synchronously called program functions.
+func (pr *program) scanForExit(p *Package, body *ast.BlockStmt, visited map[*types.Func]bool, depth int) bool {
+	found := false
+	spawned := map[ast.Node]bool{} // FuncLits and calls under nested go statements
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			spawned[x.Call] = true
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				spawned[lit] = true
+			}
+		case *ast.FuncLit:
+			if spawned[x] {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && pr.isExitRecv(p, x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if obj := p.baseObject(x.X); obj != nil && pr.closedChans[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if spawned[x] {
+				return true // args still walked; the callee runs elsewhere
+			}
+			if pr.isJoinCall(p, x) {
+				found = true
+				return false
+			}
+			if depth < maxSummaryDepth {
+				for _, e := range pr.graph.resolveCall(p, x) {
+					if visited[e.callee] {
+						continue
+					}
+					visited[e.callee] = true
+					node := pr.graph.nodeFor(e.callee)
+					if node != nil && pr.scanForExit(node.pkg, node.decl.Body, visited, depth+1) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isExitRecv reports whether receiving from ch is a stop edge: the
+// channel object is closed somewhere in the program, or ch is
+// ctx.Done().
+func (pr *program) isExitRecv(p *Package, ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		fn := p.calleeFunc(call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Done"
+	}
+	obj := p.baseObject(ch)
+	return obj != nil && pr.closedChans[obj]
+}
+
+// isJoinCall reports whether call is .Done() on a WaitGroup object that
+// the program Wait()s on.
+func (pr *program) isJoinCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedRecv(s.Recv())
+	if named == nil || !isSyncType(named, "WaitGroup") {
+		return false
+	}
+	obj := p.baseObject(sel.X)
+	return obj != nil && pr.waitedWGs[obj]
+}

@@ -12,9 +12,16 @@
 //
 //   - lockorder: Lock/RLock acquisitions must respect
 //     maintMu → FileLocks → ContainerLocks → leaf mutexes, including
-//     through one level of intra-package calls; a Lock must have a
-//     reachable Unlock (directly, deferred, or via a returned release
-//     closure).
+//     transitively through the whole-program call graph (cross-package,
+//     interface-method fan-out); a Lock must have a reachable Unlock
+//     (directly, deferred, or via a returned release closure).
+//   - poolsafe: sync.Pool lifetime discipline — no use after Put, no
+//     double Put, no Put while an alias has escaped into longer-lived
+//     state, and //slimlint:contract noretain parameters must not be
+//     retained by any implementation.
+//   - goroutineleak: every `go` statement needs a reachable join or stop
+//     edge — a WaitGroup Done paired with a Wait, a receive/range over a
+//     channel that is closed somewhere, or a ctx.Done select.
 //   - determinism: no time.Now, global math/rand, or os.Getenv inside
 //     simclock-charged packages (lnode, gnode, oss, jobs, bench), and no
 //     map iteration flowing into encoded output without a sort.
@@ -38,6 +45,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Finding is one rule violation at a position.
@@ -54,21 +62,42 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named rule set run over a type-checked package.
+// Analyzer is one named rule set. Run receives the whole program (for
+// call-graph queries) plus the single target package findings are
+// reported for.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Package) []Finding
+	Run  func(*program, *Package) []Finding
 }
 
 // Analyzers returns the full suite, in report order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		lockOrderAnalyzer(),
+		poolSafeAnalyzer(),
+		goroutineLeakAnalyzer(),
 		determinismAnalyzer(),
 		errDisciplineAnalyzer(),
 		ctxFlowAnalyzer(),
 	}
+}
+
+// AnalyzerNames lists the suite's names, in report order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Stat is one row of the per-run accounting: findings and wall time per
+// analyzer, plus a synthetic "callgraph" row for program construction.
+type Stat struct {
+	Analyzer string        `json:"analyzer"`
+	Findings int           `json:"findings"`
+	Elapsed  time.Duration `json:"elapsed"`
 }
 
 // Run executes every analyzer over pkgs, applies //slimlint:ignore
@@ -76,13 +105,42 @@ func Analyzers() []*Analyzer {
 // Invalid directives (missing reason) and unused directives are reported
 // as findings of the synthetic "suppression" analyzer.
 func Run(pkgs []*Package) []Finding {
-	var all []Finding
-	for _, pkg := range pkgs {
+	findings, _ := RunSelected(pkgs, nil)
+	return findings
+}
+
+// RunSelected is Run restricted to the named analyzers (nil or empty =
+// all), returning per-analyzer stats alongside the findings. Directives
+// naming a known but unselected analyzer are left alone — skipping an
+// analyzer must not make its suppressions look stale.
+func RunSelected(pkgs []*Package, only []string) ([]Finding, []Stat) {
+	active := map[string]bool{}
+	if len(only) == 0 {
 		for _, a := range Analyzers() {
-			all = append(all, a.Run(pkg)...)
+			active[a.Name] = true
+		}
+	} else {
+		for _, name := range only {
+			active[name] = true
 		}
 	}
-	all = applySuppressions(pkgs, all)
+
+	start := time.Now()
+	pr := newProgram(pkgs)
+	stats := []Stat{{Analyzer: "callgraph", Elapsed: time.Since(start)}}
+
+	var all []Finding
+	for _, a := range Analyzers() {
+		if !active[a.Name] {
+			continue
+		}
+		aStart := time.Now()
+		for _, pkg := range pkgs {
+			all = append(all, a.Run(pr, pkg)...)
+		}
+		stats = append(stats, Stat{Analyzer: a.Name, Elapsed: time.Since(aStart)})
+	}
+	all = applySuppressions(pkgs, all, active)
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
 			return all[i].File < all[j].File
@@ -93,9 +151,23 @@ func Run(pkgs []*Package) []Finding {
 		if all[i].Col != all[j].Col {
 			return all[i].Col < all[j].Col
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
 	})
-	return all
+	// Count what SURVIVED suppression — the stats must match the report
+	// the user sees, not the raw pre-filter tallies (every finding a
+	// valid //slimlint:ignore excuses is not a finding).
+	byAnalyzer := map[string]int{}
+	for _, f := range all {
+		byAnalyzer[f.Analyzer]++
+	}
+	for i := range stats {
+		stats[i].Findings = byAnalyzer[stats[i].Analyzer]
+	}
+	stats = append(stats, Stat{Analyzer: "suppression", Findings: byAnalyzer["suppression"]})
+	return all, stats
 }
 
 // finding builds a Finding at pos within pkg.

@@ -26,7 +26,7 @@ func newTestLoader(t *testing.T) *Loader {
 	return l
 }
 
-func lintFixture(t *testing.T, l *Loader, name string) []Finding {
+func loadFixture(t *testing.T, l *Loader, name string) []*Package {
 	t.Helper()
 	pkgs, err := l.Load([]string{filepath.Join("testdata", "src", name)})
 	if err != nil {
@@ -35,14 +35,22 @@ func lintFixture(t *testing.T, l *Loader, name string) []Finding {
 	if len(pkgs) != 1 {
 		t.Fatalf("load %s: got %d packages, want 1", name, len(pkgs))
 	}
-	return Run(pkgs)
+	return pkgs
+}
+
+func lintFixture(t *testing.T, l *Loader, name string) []Finding {
+	t.Helper()
+	return Run(loadFixture(t, l, name))
 }
 
 // TestFixtureGoldens pins the exact findings (positions and messages) for
 // every positive fixture package, one golden file per analyzer's fixture.
 func TestFixtureGoldens(t *testing.T) {
 	l := newTestLoader(t)
-	for _, name := range []string{"lockorder_bad", "lnode", "errdisc_bad", "ctxflow_bad"} {
+	for _, name := range []string{
+		"lockorder_bad", "lnode", "errdisc_bad", "ctxflow_bad",
+		"poolsafe_bad", "goroutineleak_bad", "xlock_bad", "oss_retry",
+	} {
 		t.Run(name, func(t *testing.T) {
 			findings := lintFixture(t, l, name)
 			if len(findings) == 0 {
@@ -109,6 +117,104 @@ func TestSpecificInvariants(t *testing.T) {
 	}
 	if !hasFinding(detFindings, "determinism", "map iteration") {
 		t.Error("determinism did not flag map iteration flowing into output")
+	}
+
+	// The PR 4 retry-jitter bug, replayed in a package named oss, must
+	// still be caught: wall-clock seeding inside a charged package.
+	retryFindings := lintFixture(t, l, "oss_retry")
+	if !hasFinding(retryFindings, "determinism", "time.Now in simclock-charged package oss") {
+		t.Error("determinism did not flag the historical oss retry-jitter wall-clock seed")
+	}
+
+	poolFindings := lintFixture(t, l, "poolsafe_bad")
+	for _, substr := range []string{
+		"after it was returned to its pool",
+		"twice on this path",
+		"while an alias escaped",
+		"while a deferred Put of it is pending",
+		"declared //slimlint:contract noretain data but retains it",
+	} {
+		if !hasFinding(poolFindings, "poolsafe", substr) {
+			t.Errorf("poolsafe did not produce a finding containing %q", substr)
+		}
+	}
+
+	// The pre-PR-5 prefetcher feeder — unconditional sends, no stop
+	// select, never joined — must be flagged; the Done/close/stop-chan
+	// goroutines around it must not be.
+	leakFindings := lintFixture(t, l, "goroutineleak_bad")
+	var leaks int
+	for _, f := range leakFindings {
+		if f.Analyzer == "goroutineleak" {
+			leaks++
+		}
+	}
+	if leaks != 2 {
+		t.Errorf("goroutineleak found %d leaks in goroutineleak_bad, want exactly 2 (feeder and tick)", leaks)
+	}
+}
+
+// TestCrossPackageInversion is the acceptance proof for the call-graph
+// rebase: the seeded FileLocks-under-ContainerLocks inversion in
+// xlock_bad routes through the xlock_dep package, so the legacy
+// one-level, same-package engine misses it entirely while the
+// whole-program engine reports both call chains.
+func TestCrossPackageInversion(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs := loadFixture(t, l, "xlock_bad")
+
+	legacy := lockOrderLegacyFindings(pkgs[0])
+	for _, f := range legacy {
+		if strings.Contains(f.Message, "is held") {
+			t.Fatalf("legacy engine unexpectedly caught the cross-package inversion: %s", f.Message)
+		}
+	}
+
+	findings := Run(pkgs)
+	if !hasFinding(findings, "lockorder", "calls xlock_dep.TouchFile, which acquires FileLocks") {
+		t.Error("call-graph engine missed the one-frame cross-package inversion")
+	}
+	if !hasFinding(findings, "lockorder", "calls xlock_dep.TouchViaHelper → xlock_dep.TouchFile") {
+		t.Error("call-graph engine missed the two-frame cross-package inversion chain")
+	}
+}
+
+// TestRunSelected pins -only semantics: deselected analyzers neither
+// run nor have their suppressions judged stale, and the stats always
+// carry the shared callgraph row.
+func TestRunSelected(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs := loadFixture(t, l, "suppress_ok")
+
+	// suppress_ok carries errdiscipline and ctxflow directives. With only
+	// goroutineleak active, those directives must be ignored — neither
+	// suppressing anything nor reported as unused.
+	findings, stats := RunSelected(pkgs, []string{"goroutineleak"})
+	if len(findings) != 0 {
+		t.Errorf("-only goroutineleak on suppress_ok: want 0 findings, got %v", findings)
+	}
+	var sawCallgraph, sawGoroutineleak, sawErrdiscipline bool
+	for _, s := range stats {
+		switch s.Analyzer {
+		case "callgraph":
+			sawCallgraph = true
+		case "goroutineleak":
+			sawGoroutineleak = true
+		case "errdiscipline":
+			sawErrdiscipline = true
+		}
+	}
+	if !sawCallgraph || !sawGoroutineleak {
+		t.Errorf("stats missing expected rows (callgraph=%v goroutineleak=%v): %v", sawCallgraph, sawGoroutineleak, stats)
+	}
+	if sawErrdiscipline {
+		t.Errorf("stats carry a row for the deselected errdiscipline analyzer: %v", stats)
+	}
+
+	// With errdiscipline active again the same directives must suppress.
+	findings, _ = RunSelected(pkgs, []string{"errdiscipline", "ctxflow"})
+	if len(findings) != 0 {
+		t.Errorf("-only errdiscipline,ctxflow on suppress_ok: want 0 findings, got %v", findings)
 	}
 }
 

@@ -10,8 +10,14 @@
 //
 //   - an acquisition of a family that ranks above a family already held
 //     (e.g. FileLocks.Lock while a ContainerLocks stripe is held);
-//   - the same through ONE level of intra-package calls: holding X and
-//     calling a sibling function that acquires something above X;
+//   - the same transitively through the whole-program call graph:
+//     holding X and calling anything — across packages, through
+//     interface methods resolved to every concrete implementation the
+//     program declares — that acquires something above X, bounded at
+//     maxSummaryDepth frames. Findings carry the call chain
+//     ("calls a → b, which acquires …"). Acquisitions under `go`
+//     statements are excluded from summaries: a spawned goroutine does
+//     not run under the caller's held set;
 //   - re-acquiring the exact same mutex expression already held
 //     (self-deadlock on sync.Mutex / the write side of sync.RWMutex);
 //   - a Lock with no reachable Unlock: no direct call, no defer, no
@@ -26,9 +32,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 type lockFamily int
@@ -139,10 +147,86 @@ func terminalFieldName(e ast.Expr) string {
 	return ""
 }
 
-// funcSummary is the one-level call-graph summary: the lock families a
-// function acquires directly in its body.
-type funcSummary struct {
-	acquires []lockEvent
+// transAcquire is one lock acquisition reachable from a function:
+// family/key plus the call path (below the summarized function) leading
+// to the function that performs it. An empty chain means the function
+// acquires directly.
+type transAcquire struct {
+	family lockFamily
+	key    string
+	chain  []*types.Func
+}
+
+// lockSummary is the transitive acquisition summary of one function.
+type lockSummary struct {
+	acquires []transAcquire
+}
+
+// lockSummaryOf computes (memoized, cycle-guarded, depth-bounded) the
+// lock families fn can acquire synchronously — directly or through
+// callees resolved by the call graph. A call that classifies as a lock
+// operation is recorded as the event itself; its implementation's body
+// is not entered (FileLocks.Lock's internal stripe mutexes are the
+// abstraction's business, not the caller's). Calls spawned by `go` are
+// excluded: they do not run under the caller's held set.
+func (pr *program) lockSummaryOf(fn *types.Func, depth int) *lockSummary {
+	if sum, ok := pr.lockSums[fn]; ok {
+		return sum
+	}
+	if depth > maxSummaryDepth || pr.lockActive[fn] {
+		return &lockSummary{}
+	}
+	node := pr.graph.nodeFor(fn)
+	if node == nil {
+		return &lockSummary{} // out-of-program, or no body
+	}
+	pr.lockActive[fn] = true
+	sum := &lockSummary{}
+	seen := map[string]bool{}
+	add := func(a transAcquire) {
+		k := fmt.Sprintf("%d|%s", a.family, a.key)
+		if !seen[k] {
+			seen[k] = true
+			sum.acquires = append(sum.acquires, a)
+		}
+	}
+	asyncCalls := map[*ast.CallExpr]bool{}
+	inspectShallow(node.decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			asyncCalls[gs.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || asyncCalls[call] {
+			return true
+		}
+		if ev := classifyLockCall(node.pkg, call); ev != nil {
+			if ev.acquire {
+				add(transAcquire{family: ev.family, key: ev.key})
+			}
+			return true
+		}
+		for _, e := range pr.graph.resolveCall(node.pkg, call) {
+			for _, a := range pr.lockSummaryOf(e.callee, depth+1).acquires {
+				add(transAcquire{
+					family: a.family,
+					key:    a.key,
+					chain:  append([]*types.Func{e.callee}, a.chain...),
+				})
+			}
+		}
+		return true
+	})
+	delete(pr.lockActive, fn)
+	pr.lockSums[fn] = sum
+	return sum
+}
+
+// callAcquire is one acquisition reachable from a specific call site:
+// the chain starts at the direct callee.
+type callAcquire struct {
+	chain  []*types.Func
+	family lockFamily
+	key    string
 }
 
 // heldLock is one entry of the walker's held set.
@@ -154,9 +238,10 @@ type heldLock struct {
 
 // lockWalker carries per-function analysis state.
 type lockWalker struct {
-	p         *Package
-	summaries map[*types.Func]*funcSummary
-	findings  *[]Finding
+	p        *Package
+	resolve  func(call *ast.CallExpr) []callAcquire
+	findings *[]Finding
+	reported map[string]bool // (pos, families, held key) dedupe across fan-out
 
 	// Whole-body bookkeeping for the missing-unlock check.
 	acquired     map[string]token.Pos // key → first acquire position
@@ -166,13 +251,30 @@ type lockWalker struct {
 	releaseCalls map[string]bool   // lock key → release func invoked/deferred/escaped
 }
 
-func runLockOrder(p *Package) []Finding {
-	var findings []Finding
+// runLockOrder is the v2 engine: call sites resolve through the
+// whole-program call graph to transitive, cross-package summaries.
+func runLockOrder(pr *program, p *Package) []Finding {
+	return lockOrderWalk(p, func(call *ast.CallExpr) []callAcquire {
+		var out []callAcquire
+		for _, e := range pr.graph.resolveCall(p, call) {
+			for _, a := range pr.lockSummaryOf(e.callee, 0).acquires {
+				out = append(out, callAcquire{
+					chain:  append([]*types.Func{e.callee}, a.chain...),
+					family: a.family,
+					key:    a.key,
+				})
+			}
+		}
+		return out
+	})
+}
 
-	// Pass 1: per-function acquisition summaries for the one-level
-	// call-graph check.
-	summaries := map[*types.Func]*funcSummary{}
-	declOf := map[*types.Func]*ast.FuncDecl{}
+// lockOrderLegacyFindings is the pre-v2 engine: one level of same-package
+// calls only, no transitivity, no interface fan-out. It exists as a test
+// hook so lint_test.go can prove the cross-package fixtures are invisible
+// to it.
+func lockOrderLegacyFindings(p *Package) []Finding {
+	summaries := map[*types.Func]*lockSummary{}
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -183,12 +285,11 @@ func runLockOrder(p *Package) []Finding {
 			if !ok {
 				continue
 			}
-			declOf[fn] = fd
-			sum := &funcSummary{}
+			sum := &lockSummary{}
 			inspectShallow(fd.Body, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
 					if ev := classifyLockCall(p, call); ev != nil && ev.acquire {
-						sum.acquires = append(sum.acquires, *ev)
+						sum.acquires = append(sum.acquires, transAcquire{family: ev.family, key: ev.key})
 					}
 				}
 				return true
@@ -196,14 +297,34 @@ func runLockOrder(p *Package) []Finding {
 			summaries[fn] = sum
 		}
 	}
+	return lockOrderWalk(p, func(call *ast.CallExpr) []callAcquire {
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() != p.Types {
+			return nil
+		}
+		sum := summaries[fn]
+		if sum == nil {
+			return nil
+		}
+		var out []callAcquire
+		for _, a := range sum.acquires {
+			out = append(out, callAcquire{chain: []*types.Func{fn}, family: a.family, key: a.key})
+		}
+		return out
+	})
+}
 
-	// Pass 2: walk every body (declared functions and literals alike).
+// lockOrderWalk runs the body walker over every function in p with the
+// given call-site resolver.
+func lockOrderWalk(p *Package, resolve func(*ast.CallExpr) []callAcquire) []Finding {
+	var findings []Finding
 	for _, f := range p.Files {
 		for _, fb := range fileFuncBodies(f) {
 			w := &lockWalker{
 				p:            p,
-				summaries:    summaries,
+				resolve:      resolve,
 				findings:     &findings,
+				reported:     map[string]bool{},
 				acquired:     map[string]token.Pos{},
 				acquiredFam:  map[string]lockFamily{},
 				released:     map[string]bool{},
@@ -215,6 +336,16 @@ func runLockOrder(p *Package) []Finding {
 		}
 	}
 	return findings
+}
+
+// chainString renders a call path for a finding, package-qualifying
+// functions declared outside the reported package.
+func (w *lockWalker) chainString(chain []*types.Func) string {
+	parts := make([]string, len(chain))
+	for i, fn := range chain {
+		parts[i] = displayName(fn, w.p)
+	}
+	return strings.Join(parts, " → ")
 }
 
 // lockMethodNames are the lock-table method names; a method with one of
@@ -515,18 +646,22 @@ func (w *lockWalker) handleCall(call *ast.CallExpr, held *[]heldLock) {
 			return
 		}
 	}
-	// One-level intra-package call graph: calling a sibling that acquires
-	// above anything we hold is the same inversion one frame removed.
-	if fn := w.p.calleeFunc(call); fn != nil && fn.Pkg() == w.p.Types {
-		if sum, ok := w.summaries[fn]; ok {
-			for _, acq := range sum.acquires {
-				for _, h := range *held {
-					if acq.family < h.family {
-						*w.findings = append(*w.findings, w.p.finding("lockorder", call.Pos(),
-							"calls %s, which acquires %s (%s) while %s (%s) is held — violates maintMu → FileLocks → ContainerLocks → leaves",
-							fn.Name(), acq.family, acq.key, h.family, h.key))
-					}
+	// Call-graph check: calling anything that (transitively) acquires
+	// above a held family is the same inversion, one or more frames
+	// removed. Fan-out through interface methods can surface the same
+	// family via several chains; report each (site, family pair, held
+	// key) once, with the first chain found.
+	for _, ca := range w.resolve(call) {
+		for _, h := range *held {
+			if ca.family < h.family {
+				dedupe := fmt.Sprintf("%d|%d|%d|%s", call.Pos(), ca.family, h.family, h.key)
+				if w.reported[dedupe] {
+					continue
 				}
+				w.reported[dedupe] = true
+				*w.findings = append(*w.findings, w.p.finding("lockorder", call.Pos(),
+					"calls %s, which acquires %s (%s) while %s (%s) is held — violates maintMu → FileLocks → ContainerLocks → leaves",
+					w.chainString(ca.chain), ca.family, ca.key, h.family, h.key))
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // WriteHuman renders findings grouped by file with a trailing count.
@@ -34,4 +35,16 @@ func WriteJSON(w io.Writer, findings []Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(findings)
+}
+
+// WriteStats renders the per-analyzer accounting table: findings and
+// wall time per analyzer, call-graph construction, and the total.
+func WriteStats(w io.Writer, stats []Stat) {
+	var total time.Duration
+	fmt.Fprintf(w, "%-14s %9s %12s\n", "analyzer", "findings", "elapsed")
+	for _, s := range stats {
+		total += s.Elapsed
+		fmt.Fprintf(w, "%-14s %9d %12s\n", s.Analyzer, s.Findings, s.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "%-14s %9s %12s\n", "total", "", total.Round(time.Millisecond))
 }

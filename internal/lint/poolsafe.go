@@ -1,0 +1,745 @@
+// poolsafe enforces sync.Pool lifetime discipline over the pooled ingest
+// and container hot paths (DESIGN.md §13): once a buffer goes back to
+// its pool, any surviving reference is a silent-corruption bug that
+// -race cannot see, because the recycle path is fully synchronized.
+//
+// Per function body, walked path-sensitively (if/switch/select arms are
+// analyzed separately — the select-arm ownership transfer of
+// lnode.emit is legal and must not cross-contaminate):
+//
+//   - use after Put: reading an expression (or any extension of it —
+//     b.slab after putSlab(b.slab)) that was returned to a pool on this
+//     path. Reassignment revives the key;
+//   - double Put: returning the same expression to a pool twice on one
+//     path, including an explicit Put racing a pending deferred Put;
+//   - Put while escaped: a locally-Gotten pooled value stored into a
+//     field, global, map, or channel (or handed to a goroutine or a
+//     retaining callee) and THEN recycled — the escapee outlives the
+//     buffer.
+//
+// Put-shaped recyclers are recognized transitively through the call
+// graph: putBatch(b), putSlab(&b), putBuf(b[:0]), and Store.Release →
+// putBuf(c.Data) all count as Puts of the corresponding argument, and
+// getBatch/getSlab/getBuf-shaped wrappers around Get mark their result
+// pooled. Separately, //slimlint:contract noretain declarations are
+// enforced at every implementation via the retention inference in
+// retain.go.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func poolSafeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "poolsafe",
+		Doc:  "sync.Pool values must not be used after Put, Put twice, or Put while an alias has escaped; noretain contracts must hold in every implementation",
+		Run:  runPoolSafe,
+	}
+}
+
+func runPoolSafe(pr *program, p *Package) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, fb := range fileFuncBodies(f) {
+			pw := &poolWalker{pr: pr, p: p, findings: &findings}
+			pw.walkStmts(fb.body.List, newPoolState())
+		}
+	}
+
+	// Contract enforcement: every function declared (or inheriting, via
+	// an implemented interface method) a noretain contract must not
+	// retain that parameter.
+	for fn, node := range pr.graph.nodes {
+		if node.pkg != p {
+			continue
+		}
+		for _, idx := range pr.contractParams(fn) {
+			site, ok := pr.retainSummaryOf(fn, 0).retains[idx]
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			name := "?"
+			if idx < sig.Params().Len() {
+				name = sig.Params().At(idx).Name()
+			}
+			pos := p.Fset.Position(site.pos)
+			findings = append(findings, p.finding("poolsafe", node.decl.Name.Pos(),
+				"%s is declared //slimlint:contract noretain %s but retains it — %s at %s:%d",
+				displayName(fn, p), name, site.what, p.relPath(pos.Filename), pos.Line))
+		}
+	}
+	return findings
+}
+
+// ---------------------------------------------------------------------------
+// Pool call classification and function summaries.
+
+// classifyPoolCall reports whether call is sync.Pool.Get or .Put.
+func classifyPoolCall(p *Package, call *ast.CallExpr) (method string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false
+	}
+	m := sel.Sel.Name
+	if m != "Get" && m != "Put" {
+		return "", false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	named := namedRecv(s.Recv())
+	if named == nil || !isSyncType(named, "Pool") {
+		return "", false
+	}
+	return m, true
+}
+
+// isPoolGetExpr reports whether e is (possibly asserted) pool.Get().
+func isPoolGetExpr(p *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	m, ok := classifyPoolCall(p, call)
+	return ok && m == "Get"
+}
+
+// poolSummary is the transitive pool behavior of one function: which
+// parameters it returns to a pool, and whether its results come from
+// one.
+type poolSummary struct {
+	putsParams    map[int]bool
+	returnsPooled bool
+}
+
+// poolSummaryOf computes (memoized, cycle-guarded) fn's pool summary
+// through the call graph: putBatch → batchPool.Put(b) makes putBatch a
+// recycler of parameter 0; Store.Release → putBuf(c.Data) inherits it
+// through the field.
+func (pr *program) poolSummaryOf(fn *types.Func, depth int) *poolSummary {
+	if s, ok := pr.poolSums[fn]; ok {
+		return s
+	}
+	empty := &poolSummary{putsParams: map[int]bool{}}
+	if depth > maxSummaryDepth || pr.poolActive[fn] {
+		return empty
+	}
+	node := pr.graph.nodeFor(fn)
+	if node == nil {
+		return empty
+	}
+	pr.poolActive[fn] = true
+	p := node.pkg
+	sum := &poolSummary{putsParams: map[int]bool{}}
+
+	paramIdx := map[types.Object]int{}
+	for i, obj := range paramObjects(p, node.decl) {
+		if obj != nil {
+			paramIdx[obj] = i
+		}
+	}
+	pooledLocals := map[types.Object]bool{}
+	markParamPut := func(arg ast.Expr) {
+		if root := rootIdentObject(p, arg); root != nil {
+			if i, ok := paramIdx[root]; ok {
+				sum.putsParams[i] = true
+			}
+		}
+	}
+	inspectShallow(node.decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for k := range st.Lhs {
+				id, ok := ast.Unparen(st.Lhs[k]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(p, id)
+				if obj == nil {
+					continue
+				}
+				if pr.isPooledSource(p, st.Rhs[k], pooledLocals, depth) {
+					pooledLocals[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if m, ok := classifyPoolCall(p, st); ok {
+				if m == "Put" && len(st.Args) == 1 {
+					markParamPut(st.Args[0])
+				}
+				return true
+			}
+			for _, e := range pr.graph.resolveCall(p, st) {
+				cs := pr.poolSummaryOf(e.callee, depth+1)
+				for j := range cs.putsParams {
+					if j < len(st.Args) {
+						markParamPut(st.Args[j])
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if pr.isPooledSource(p, r, pooledLocals, depth) {
+					sum.returnsPooled = true
+				}
+			}
+		}
+		return true
+	})
+	delete(pr.poolActive, fn)
+	pr.poolSums[fn] = sum
+	return sum
+}
+
+// isPooledSource reports whether e yields a pool-originated value: a
+// direct Get, a call to a returnsPooled function, or a copy/deref of a
+// local already known pooled (the getSlab `b := *bp` idiom).
+func (pr *program) isPooledSource(p *Package, e ast.Expr, pooledLocals map[types.Object]bool, depth int) bool {
+	e = ast.Unparen(e)
+	if isPoolGetExpr(p, e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		for _, edge := range pr.graph.resolveCall(p, x) {
+			if pr.poolSummaryOf(edge.callee, depth+1).returnsPooled {
+				return true
+			}
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return pooledLocals[objOf(p, id)]
+		}
+	case *ast.Ident:
+		return pooledLocals[objOf(p, x)]
+	case *ast.TypeAssertExpr:
+		return pr.isPooledSource(p, x.X, pooledLocals, depth)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Path-sensitive body walker.
+
+// poolState is one execution path's view of pooled values, keyed by
+// normalized expression strings ("b", "b.slab").
+type poolState struct {
+	pooled     map[string]bool      // locally pool-obtained keys
+	dead       map[string]token.Pos // Put already happened on this path
+	escaped    map[string]token.Pos // alias escaped on this path
+	deferred   map[string]bool      // a deferred Put pends at function exit
+	terminated bool                 // path ended in return
+}
+
+func newPoolState() *poolState {
+	return &poolState{
+		pooled:   map[string]bool{},
+		dead:     map[string]token.Pos{},
+		escaped:  map[string]token.Pos{},
+		deferred: map[string]bool{},
+	}
+}
+
+func (st *poolState) clone() *poolState {
+	c := newPoolState()
+	for k, v := range st.pooled {
+		c.pooled[k] = v
+	}
+	for k, v := range st.dead {
+		c.dead[k] = v
+	}
+	for k, v := range st.escaped {
+		c.escaped[k] = v
+	}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	c.terminated = st.terminated
+	return c
+}
+
+// mergeInto unions the non-terminated branch states into dst (a value
+// dead or escaped on ANY surviving path stays flagged — the analysis is
+// conservative toward reporting).
+func mergeInto(dst *poolState, branches ...*poolState) {
+	live := 0
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		live++
+		for k, v := range b.pooled {
+			dst.pooled[k] = v
+		}
+		for k, v := range b.dead {
+			dst.dead[k] = v
+		}
+		for k, v := range b.escaped {
+			dst.escaped[k] = v
+		}
+		for k, v := range b.deferred {
+			dst.deferred[k] = v
+		}
+	}
+	if live == 0 && len(branches) > 0 {
+		dst.terminated = true
+	}
+}
+
+// exprKey normalizes an expression to its tracking key: parens, &,
+// slice bounds, and type assertions are stripped (Put(&b), Put(b[:0]),
+// and Put(b) all target "b").
+func exprKey(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return ""
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return types.ExprString(x)
+		default:
+			return ""
+		}
+	}
+}
+
+// keyExtends reports whether use is k itself or a sub-expression of it
+// ("b.slab" extends "b"; "b" does not extend "b.slab").
+func keyExtends(use, k string) bool {
+	return use == k || strings.HasPrefix(use, k+".") || strings.HasPrefix(use, k+"[")
+}
+
+// rootName returns the leading identifier of a key ("b.slab" → "b").
+func rootName(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' || key[i] == '[' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+type poolWalker struct {
+	pr       *program
+	p        *Package
+	findings *[]Finding
+}
+
+func (pw *poolWalker) walkStmts(stmts []ast.Stmt, st *poolState) {
+	for _, s := range stmts {
+		pw.walkStmt(s, st)
+	}
+}
+
+func (pw *poolWalker) walkStmt(s ast.Stmt, st *poolState) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		pw.walkStmts(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			pw.walkStmt(x.Init, st)
+		}
+		pw.scanNode(x.Cond, st)
+		b1 := st.clone()
+		pw.walkStmt(x.Body, b1)
+		b2 := st.clone()
+		if x.Else != nil {
+			pw.walkStmt(x.Else, b2)
+		}
+		mergeInto(st, b1, b2)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			pw.walkStmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			pw.scanNode(x.Cond, st)
+		}
+		body := st.clone()
+		pw.walkStmt(x.Body, body)
+		if x.Post != nil {
+			pw.walkStmt(x.Post, body)
+		}
+		mergeInto(st, body, st.clone()) // loop may run zero times
+	case *ast.RangeStmt:
+		pw.scanNode(x.X, st)
+		body := st.clone()
+		// Range variables are rebound every iteration: anything known
+		// about their old values is stale inside the body.
+		for _, v := range []ast.Expr{x.Key, x.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				reviveKey(body, id.Name)
+				delete(body.pooled, id.Name)
+			}
+		}
+		pw.walkStmt(x.Body, body)
+		mergeInto(st, body, st.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			pw.walkStmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			pw.scanNode(x.Tag, st)
+		}
+		pw.walkCaseBodies(x.Body, st)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			pw.walkStmt(x.Init, st)
+		}
+		pw.walkCaseBodies(x.Body, st)
+	case *ast.SelectStmt:
+		pw.walkCaseBodies(x.Body, st)
+	case *ast.DeferStmt:
+		pw.handleDefer(x, st)
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			pw.scanNode(a, st)
+			if pk := pooledRootKeyOf(st, a); pk != "" {
+				st.escaped[pk] = a.Pos()
+			}
+		}
+	case *ast.SendStmt:
+		pw.scanNode(x.Value, st)
+		if pk := pooledRootKeyOf(st, x.Value); pk != "" {
+			st.escaped[pk] = x.Pos()
+		}
+	case *ast.AssignStmt:
+		pw.handleAssign(x, st)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			pw.scanNode(r, st)
+			if pk := pooledRootKeyOf(st, r); pk != "" {
+				delete(st.pooled, pk) // ownership handed to the caller
+			}
+		}
+		st.terminated = true
+	case *ast.ExprStmt:
+		pw.scanNode(x.X, st)
+	case *ast.LabeledStmt:
+		pw.walkStmt(x.Stmt, st)
+	default:
+		pw.scanNode(s, st)
+	}
+}
+
+func (pw *poolWalker) walkCaseBodies(body *ast.BlockStmt, st *poolState) {
+	var results []*poolState
+	hasDefault := false
+	for _, c := range body.List {
+		b := st.clone()
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				pw.scanNode(e, b)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				pw.walkStmt(cc.Comm, b)
+			}
+			stmts = cc.Body
+		}
+		pw.walkStmts(stmts, b)
+		results = append(results, b)
+	}
+	if !hasDefault {
+		results = append(results, st.clone())
+	}
+	if len(results) > 0 {
+		// Start from a clean slate so only branch outcomes survive.
+		fresh := newPoolState()
+		mergeInto(fresh, results...)
+		*st = *fresh
+	}
+}
+
+// handleDefer treats deferred Puts as pending at exit: a later explicit
+// Put of the same key is a double Put.
+func (pw *poolWalker) handleDefer(d *ast.DeferStmt, st *poolState) {
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		inspectShallow(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				for _, key := range pw.putKeysOf(call) {
+					st.deferred[key] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	keys := pw.putKeysOf(d.Call)
+	if len(keys) == 0 {
+		for _, a := range d.Call.Args {
+			pw.scanNode(a, st)
+		}
+		return
+	}
+	for _, key := range keys {
+		if first, dead := st.dead[key]; dead {
+			pw.report(d.Pos(), "defers a second Put of %s — already returned to its pool at line %d",
+				key, pw.p.Fset.Position(first).Line)
+			continue
+		}
+		st.deferred[key] = true
+	}
+}
+
+// putKeysOf returns the keys call returns to a pool: the argument of a
+// direct sync.Pool Put, or the arguments in recycler positions of a
+// putBatch-shaped callee.
+func (pw *poolWalker) putKeysOf(call *ast.CallExpr) []string {
+	if m, ok := classifyPoolCall(pw.p, call); ok {
+		if m == "Put" && len(call.Args) == 1 {
+			if key := exprKey(call.Args[0]); key != "" {
+				return []string{key}
+			}
+		}
+		return nil
+	}
+	putIdx := map[int]bool{}
+	for _, e := range pw.pr.graph.resolveCall(pw.p, call) {
+		for j := range pw.pr.poolSummaryOf(e.callee, 0).putsParams {
+			putIdx[j] = true
+		}
+	}
+	var keys []string
+	for j := range putIdx {
+		if j < len(call.Args) {
+			if key := exprKey(call.Args[j]); key != "" {
+				keys = append(keys, key)
+			}
+		}
+	}
+	return keys
+}
+
+func (pw *poolWalker) handleAssign(a *ast.AssignStmt, st *poolState) {
+	if len(a.Lhs) != len(a.Rhs) {
+		for _, r := range a.Rhs {
+			pw.scanNode(r, st)
+		}
+		for _, l := range a.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+				reviveKey(st, id.Name)
+				delete(st.pooled, id.Name)
+			}
+		}
+		return
+	}
+	for k := range a.Lhs {
+		lhs := ast.Unparen(a.Lhs[k])
+		rhs := a.Rhs[k]
+		fromPool := isPoolGetExpr(pw.p, rhs) || pw.callReturnsPooled(rhs)
+		if !fromPool {
+			pw.scanNode(rhs, st)
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			if obj := objOf(pw.p, id); obj != nil && obj.Parent() == pw.p.Types.Scope() {
+				// Assigning into a package-level variable: anything
+				// pooled on the right escapes the function.
+				if pk := pooledRootKeyOf(st, rhs); pk != "" {
+					st.escaped[pk] = a.Pos()
+				}
+				continue
+			}
+			reviveKey(st, id.Name)
+			if fromPool || pooledRootKeyOf(st, rhs) != "" {
+				st.pooled[id.Name] = true
+			} else {
+				delete(st.pooled, id.Name)
+			}
+			continue
+		}
+		// Composite left side: b.slab = x revives "b.slab"; storing a
+		// pooled value under a different root is an escape.
+		lhsKey := exprKey(lhs)
+		if lhsKey != "" {
+			reviveKey(st, lhsKey)
+		}
+		if pk := pooledRootKeyOf(st, rhs); pk != "" && lhsKey != "" && rootName(lhsKey) != pk {
+			st.escaped[pk] = a.Pos()
+		}
+	}
+}
+
+// callReturnsPooled reports whether rhs is a call to a returnsPooled
+// function (getBatch-shaped wrapper).
+func (pw *poolWalker) callReturnsPooled(rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, e := range pw.pr.graph.resolveCall(pw.p, call) {
+		if pw.pr.poolSummaryOf(e.callee, 0).returnsPooled {
+			return true
+		}
+	}
+	return false
+}
+
+// pooledRootKeyOf maps e to the pooled key it is rooted in, or "".
+func pooledRootKeyOf(st *poolState, e ast.Expr) string {
+	key := exprKey(e)
+	if key == "" {
+		return ""
+	}
+	for pk := range st.pooled {
+		if keyExtends(key, pk) {
+			return pk
+		}
+	}
+	return ""
+}
+
+// reviveKey clears dead/escaped/deferred facts for key and everything it
+// roots (assigning b revives b and b.slab).
+func reviveKey(st *poolState, key string) {
+	for _, m := range []map[string]token.Pos{st.dead, st.escaped} {
+		for k := range m {
+			if keyExtends(k, key) {
+				delete(m, k)
+			}
+		}
+	}
+	for k := range st.deferred {
+		if keyExtends(k, key) {
+			delete(st.deferred, k)
+		}
+	}
+}
+
+// scanNode walks an expression (or opaque statement) looking for pool
+// operations and uses of dead keys, without entering function literals.
+func (pw *poolWalker) scanNode(n ast.Node, st *poolState) {
+	if n == nil {
+		return
+	}
+	inspectShallow(n, func(nn ast.Node) bool {
+		switch x := nn.(type) {
+		case *ast.CallExpr:
+			pw.handleCall(x, st)
+			return false
+		case *ast.SelectorExpr:
+			pw.useCheck(types.ExprString(x), x.Pos(), st)
+			return true
+		case *ast.Ident:
+			pw.useCheck(x.Name, x.Pos(), st)
+			return true
+		}
+		return true
+	})
+}
+
+// useCheck flags a read of a key whose value is back in its pool.
+func (pw *poolWalker) useCheck(key string, pos token.Pos, st *poolState) {
+	if key == "" {
+		return
+	}
+	for k, putPos := range st.dead {
+		if keyExtends(key, k) {
+			pw.report(pos, "uses %s after it was returned to its pool at line %d — pooled memory may already be reused",
+				key, pw.p.Fset.Position(putPos).Line)
+			delete(st.dead, k) // one report per recycled value
+			return
+		}
+	}
+}
+
+// handleCall processes one call: pool Put/Get, recognized recyclers,
+// retaining callees, then argument scanning.
+func (pw *poolWalker) handleCall(call *ast.CallExpr, st *poolState) {
+	if m, ok := classifyPoolCall(pw.p, call); ok {
+		if m == "Put" && len(call.Args) == 1 {
+			pw.handlePut(call.Args[0], call.Pos(), st)
+		}
+		return
+	}
+
+	putIdx := map[int]bool{}
+	retainIdx := map[int]bool{}
+	for _, e := range pw.pr.graph.resolveCall(pw.p, call) {
+		sum := pw.pr.poolSummaryOf(e.callee, 0)
+		for j := range sum.putsParams {
+			putIdx[j] = true
+		}
+		rs := pw.pr.retainSummaryOf(e.callee, 0)
+		for j := range rs.retains {
+			if !pw.pr.contractCovers(e.callee, j) && !sum.putsParams[j] {
+				retainIdx[j] = true
+			}
+		}
+	}
+	for j, a := range call.Args {
+		switch {
+		case putIdx[j]:
+			pw.handlePut(a, call.Pos(), st)
+		default:
+			pw.scanNode(a, st)
+			if retainIdx[j] {
+				if pk := pooledRootKeyOf(st, a); pk != "" {
+					st.escaped[pk] = a.Pos()
+				}
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		pw.scanNode(sel.X, st)
+	}
+}
+
+// handlePut applies one Put of arg: double-Put and put-while-escaped
+// checks, then the key goes dead on this path.
+func (pw *poolWalker) handlePut(arg ast.Expr, pos token.Pos, st *poolState) {
+	key := exprKey(arg)
+	if key == "" {
+		return
+	}
+	if first, ok := st.dead[key]; ok {
+		pw.report(pos, "returns %s to its pool twice on this path — first Put at line %d",
+			key, pw.p.Fset.Position(first).Line)
+		return
+	}
+	if st.deferred[key] {
+		pw.report(pos, "returns %s to its pool while a deferred Put of it is pending — double Put at function exit", key)
+		return
+	}
+	if esc, ok := st.escaped[key]; ok {
+		pw.report(pos, "returns %s to its pool while an alias escaped at line %d — the escapee outlives the recycle",
+			key, pw.p.Fset.Position(esc).Line)
+		delete(st.escaped, key)
+	}
+	st.dead[key] = pos
+}
+
+func (pw *poolWalker) report(pos token.Pos, format string, args ...any) {
+	*pw.findings = append(*pw.findings, pw.p.finding("poolsafe", pos, format, args...))
+}

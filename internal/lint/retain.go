@@ -1,0 +1,257 @@
+// Retention inference: does a function keep a reference to one of its
+// parameters after it returns? This backs the noretain contract check —
+// an implementation of a contracted method must not retain the
+// contracted parameter — and the poolsafe escape analysis, which treats
+// passing a pooled buffer to a retaining callee as an escape.
+//
+// The analysis is a shallow, order-insensitive alias walk, deliberately
+// biased the way a linter must be:
+//
+//   - aliases are the parameter itself, &param, param fields/elements/
+//     subslices, and local variables bound to any of those. A pointer
+//     DEREFERENCE (`cp := *m`) is treated as a value copy and breaks
+//     aliasing — the cacheMeta deep-copy idiom relies on this — as do
+//     call results (append, EncodeMeta) and basic/string-typed
+//     expressions (immutable or copied by assignment);
+//   - retention is: assigning an alias to anything not rooted at the
+//     parameter itself (fields, globals, maps — own-object stores like
+//     `c.Data = payload` are fine), sending an alias on a channel,
+//     handing an alias to a `go` call, or passing an alias to a callee
+//     that retains the corresponding parameter (recursed through the
+//     call graph, bounded by maxSummaryDepth; cycles and out-of-program
+//     callees are assumed non-retaining; contracted callees are trusted
+//     by declaration, which terminates wrapper chains).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// retainSite is the evidence for one retained parameter.
+type retainSite struct {
+	pos  token.Pos
+	what string
+}
+
+// retainSummary maps retained parameter indices to their evidence.
+type retainSummary struct {
+	retains map[int]retainSite
+}
+
+func (pr *program) retainSummaryOf(fn *types.Func, depth int) *retainSummary {
+	if s, ok := pr.retSums[fn]; ok {
+		return s
+	}
+	empty := &retainSummary{retains: map[int]retainSite{}}
+	if depth > maxSummaryDepth || pr.retActive[fn] {
+		return empty
+	}
+	node := pr.graph.nodeFor(fn)
+	if node == nil {
+		return empty
+	}
+	pr.retActive[fn] = true
+	p := node.pkg
+	sum := &retainSummary{retains: map[int]retainSite{}}
+
+	paramIdx := map[types.Object]int{}
+	for i, obj := range paramObjects(p, node.decl) {
+		if obj != nil {
+			paramIdx[obj] = i
+		}
+	}
+	aliases := map[types.Object]int{}
+	for obj, i := range paramIdx {
+		aliases[obj] = i
+	}
+
+	record := func(i int, pos token.Pos, what string) {
+		if _, ok := sum.retains[i]; !ok {
+			sum.retains[i] = retainSite{pos: pos, what: what}
+		}
+	}
+
+	// aliasOf resolves e to the parameter it aliases, or -1.
+	aliasOf := func(e ast.Expr) int {
+		if tv, ok := p.Info.Types[e]; ok && isBasicOrString(tv.Type) {
+			return -1
+		}
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				if obj := objOf(p, x); obj != nil {
+					if i, ok := aliases[obj]; ok {
+						return i
+					}
+				}
+				return -1
+			case *ast.SelectorExpr:
+				if p.pkgNameOf(x.X) != nil {
+					return -1 // qualified identifier, not a field chain
+				}
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return -1
+				}
+				e = x.X
+			default:
+				return -1
+			}
+		}
+	}
+
+	inspectShallow(node.decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for k := range st.Lhs {
+				i := aliasOf(st.Rhs[k])
+				if i < 0 {
+					continue
+				}
+				lhs := ast.Unparen(st.Lhs[k])
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					if obj := objOf(p, id); obj != nil {
+						if obj.Parent() == p.Types.Scope() {
+							record(i, st.Pos(), "stored into package-level "+id.Name)
+							continue
+						}
+						if _, isParam := paramIdx[obj]; !isParam {
+							aliases[obj] = i // local binding extends the alias set
+						}
+					}
+					continue
+				}
+				if root := rootIdentObject(p, lhs); root != nil {
+					if j, ok := aliases[root]; ok && j == i {
+						continue // own-object store: c.Data = <alias of c>
+					}
+				}
+				record(i, st.Pos(), "stored into "+types.ExprString(st.Lhs[k]))
+			}
+		case *ast.SendStmt:
+			if i := aliasOf(st.Value); i >= 0 {
+				record(i, st.Pos(), "sent on "+types.ExprString(st.Chan))
+			}
+		case *ast.GoStmt:
+			for _, a := range st.Call.Args {
+				if i := aliasOf(a); i >= 0 {
+					record(i, a.Pos(), "handed to a goroutine")
+				}
+			}
+		case *ast.CallExpr:
+			callees := pr.graph.resolveCall(p, st)
+			if len(callees) == 0 {
+				return true // builtin / func value / stdlib conversion: non-retaining
+			}
+			for k, a := range st.Args {
+				i := aliasOf(a)
+				if i < 0 {
+					continue
+				}
+				for _, e := range callees {
+					sig, ok := e.callee.Type().(*types.Signature)
+					if !ok {
+						continue
+					}
+					j := k
+					if sig.Variadic() && j >= sig.Params().Len()-1 {
+						j = sig.Params().Len() - 1
+					}
+					if j < 0 || j >= sig.Params().Len() {
+						continue
+					}
+					if pr.contractCovers(e.callee, j) {
+						continue // non-retaining by declared contract
+					}
+					if site, ok := pr.retainSummaryOf(e.callee, depth+1).retains[j]; ok {
+						pos := p.Fset.Position(site.pos)
+						record(i, a.Pos(), fmt.Sprintf("passed to %s, which retains it (%s at %s:%d)",
+							displayName(e.callee, p), site.what, p.relPath(pos.Filename), pos.Line))
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	delete(pr.retActive, fn)
+	pr.retSums[fn] = sum
+	return sum
+}
+
+// paramObjects lists the declared parameter objects of fd in flattened
+// order (nil for unnamed parameters).
+func paramObjects(p *Package, fd *ast.FuncDecl) []types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, nm := range f.Names {
+			out = append(out, p.Info.Defs[nm])
+		}
+	}
+	return out
+}
+
+// objOf resolves an identifier to its object, use or definition.
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// rootIdentObject walks selector/index/slice/deref/assert chains down to
+// the root identifier's object ("s.m[key]" → s), or nil when the chain
+// bottoms out in a call or literal.
+func rootIdentObject(p *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return objOf(p, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBasicOrString reports whether t is a basic type (including string):
+// values that are copied, not aliased, by assignment.
+func isBasicOrString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}

@@ -57,8 +57,11 @@ func parseDirectives(p *Package) []*directive {
 }
 
 // applySuppressions filters findings covered by a valid directive and
-// appends findings for invalid or unused directives.
-func applySuppressions(pkgs []*Package, findings []Finding) []Finding {
+// appends findings for invalid or unused directives. active names the
+// analyzers that actually ran this invocation: a directive for a known
+// analyzer that was deselected (-only) is skipped outright, neither
+// suppressing nor counting as stale.
+func applySuppressions(pkgs []*Package, findings []Finding, active map[string]bool) []Finding {
 	byFileLine := map[string][]*directive{}
 	var all []*directive
 	for _, p := range pkgs {
@@ -105,8 +108,10 @@ func applySuppressions(pkgs []*Package, findings []Finding) []Finding {
 		case !known[d.analyzer]:
 			kept = append(kept, Finding{
 				Analyzer: "suppression", File: d.file, Line: d.line, Col: 1,
-				Message: fmt.Sprintf("unknown analyzer %q in directive (have: lockorder, determinism, errdiscipline, ctxflow)", d.analyzer),
+				Message: fmt.Sprintf("unknown analyzer %q in directive (have: %s)", d.analyzer, strings.Join(AnalyzerNames(), ", ")),
 			})
+		case active != nil && !active[d.analyzer]:
+			// The analyzer this directive excuses did not run; no verdict.
 		case !d.used:
 			kept = append(kept, Finding{
 				Analyzer: "suppression", File: d.file, Line: d.line, Col: 1,

@@ -1,0 +1,72 @@
+// Package goroutineleak_bad replays the pre-PR-5 cache prefetcher bug:
+// a feeder goroutine that sends unconditionally on a semaphore and a
+// jobs channel, with no stop select and no join — when a consumer bails
+// out mid-sequence, the feeder parks on the send forever. The workers,
+// which drain a channel that is eventually closed and Done a Waited
+// WaitGroup, are the negative control.
+package goroutineleak_bad
+
+import "sync"
+
+type prefetcher struct {
+	jobs chan int
+	sem  chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newPrefetcher(ids []int) *prefetcher {
+	p := &prefetcher{
+		jobs: make(chan int),
+		sem:  make(chan struct{}, 2),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < 2; i++ {
+		p.wg.Add(1)
+		go p.worker() // ok: Done on a Waited WaitGroup
+	}
+	go func() { // BAD: unconditional sends, no stop select, never joined
+		defer close(p.jobs)
+		for _, id := range ids {
+			p.sem <- struct{}{}
+			p.jobs <- id
+		}
+	}()
+	return p
+}
+
+func (p *prefetcher) worker() {
+	defer p.wg.Done()
+	for range p.jobs {
+		<-p.sem
+	}
+}
+
+// monitor is the negative control for the stop-channel pattern: the
+// goroutine exits when Close closes p.stop.
+func (p *prefetcher) monitor() {
+	go func() {
+		for {
+			select {
+			case <-p.jobs:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close joins the workers and releases the monitor.
+func (p *prefetcher) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// tick spins forever with no stop signal at all.
+func tick(n *int) {
+	go func() { // BAD: no join or stop edge anywhere
+		for {
+			*n++
+		}
+	}()
+}

@@ -1,0 +1,22 @@
+// Package oss replays the PR 4 retry-jitter bug verbatim: a backoff
+// helper seeding math/rand from the wall clock inside the simulated
+// store, which made latency traces unreproducible across runs. The
+// package is named oss so determinism charges it exactly like the real
+// one.
+package oss
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retryJitter is the historical bug: wall-clock seeding in a charged
+// package.
+func retryJitter() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // BAD: wall clock in the simulation
+}
+
+// seededJitter is the shipped fix: the seed comes from configuration.
+func seededJitter(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,129 @@
+// Package poolsafe_bad commits every pool-lifetime sin slimlint knows:
+// use after Put, double Put on one path, Put while an alias escaped
+// (via a global, a channel, and a retaining callee), a Put racing a
+// deferred Put, and a noretain contract violated by an implementation.
+// The negative controls at the bottom are the production idioms the
+// walker must keep accepting: select-arm ownership transfer and revival
+// by reassignment.
+package poolsafe_bad
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return &buf{} }}
+
+var global *buf
+
+var kept *buf
+
+// getBuf is the pooled constructor; poolsafe learns transitively that
+// its result is pooled.
+func getBuf() *buf {
+	return pool.Get().(*buf)
+}
+
+// putBuf is the recycler; poolsafe learns transitively that it Puts its
+// parameter.
+func putBuf(b *buf) {
+	pool.Put(b)
+}
+
+// keep retains its argument in a package-level variable.
+func keep(b *buf) {
+	kept = b
+}
+
+// useAfterPut reads the buffer after recycling it.
+func useAfterPut() int {
+	b := getBuf()
+	putBuf(b)
+	return len(b.b) // BAD: pooled memory may already be reused
+}
+
+// doublePut recycles the same buffer twice on one path.
+func doublePut() {
+	b := getBuf()
+	putBuf(b)
+	putBuf(b) // BAD: second Put of the same buffer
+}
+
+// escapeThenPut stores the buffer into a global, then recycles it.
+func escapeThenPut() {
+	b := getBuf()
+	global = b // escape
+	putBuf(b)  // BAD: the global outlives the recycle
+}
+
+// sendThenPut hands the buffer to another goroutine, then recycles it.
+func sendThenPut(ch chan *buf) {
+	b := getBuf()
+	ch <- b   // escape
+	putBuf(b) // BAD: the receiver outlives the recycle
+}
+
+// stashThenPut escapes through the call graph: keep retains its
+// parameter, so passing b to it is an escape.
+func stashThenPut() {
+	b := getBuf()
+	keep(b)   // escape, one frame deep
+	putBuf(b) // BAD: kept outlives the recycle
+}
+
+// deferredDouble recycles inline while a deferred Put is pending.
+func deferredDouble() {
+	b := getBuf()
+	defer putBuf(b)
+	putBuf(b) // BAD: the deferred Put fires again at exit
+}
+
+// Sink is a storage-shaped interface with a noretain contract, like
+// oss.Store.Put in the real tree.
+type Sink interface {
+	//slimlint:contract noretain data
+	Write(data []byte) error
+}
+
+// BadSink aliases the caller's buffer — a contract violation an
+// implementation inherits from the interface declaration.
+type BadSink struct {
+	last []byte
+}
+
+func (s *BadSink) Write(data []byte) error { // BAD: retains data
+	s.last = data
+	return nil
+}
+
+// GoodSink copies; the contract holds.
+type GoodSink struct {
+	last []byte
+}
+
+func (s *GoodSink) Write(data []byte) error {
+	s.last = append([]byte(nil), data...)
+	return nil
+}
+
+// transferOK is the negative control for select-arm ownership transfer:
+// the buffer either leaves on the channel or is recycled, never both.
+func transferOK(ch chan *buf, stop chan struct{}) bool {
+	b := getBuf()
+	select {
+	case ch <- b:
+		return true
+	case <-stop:
+		putBuf(b)
+		return false
+	}
+}
+
+// reassignOK is the negative control for revival by reassignment.
+func reassignOK() *buf {
+	b := getBuf()
+	putBuf(b)
+	b = getBuf()
+	return b
+}

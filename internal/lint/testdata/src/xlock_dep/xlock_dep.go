@@ -1,0 +1,19 @@
+// Package xlock_dep is the helper half of the cross-package
+// lock-inversion fixture: functions that acquire file stripes on behalf
+// of callers. Nothing here is wrong in isolation — the inversion only
+// exists at the call site in xlock_bad, one package away.
+package xlock_dep
+
+import "slimstore/internal/core"
+
+// TouchFile locks the file stripe for name and releases it.
+func TouchFile(fl *core.FileLocks, name string) {
+	fl.Lock(name)
+	defer fl.Unlock(name)
+}
+
+// TouchViaHelper adds a frame so the inversion sits two calls and a
+// package boundary away from the bad acquisition site.
+func TouchViaHelper(fl *core.FileLocks, name string) {
+	TouchFile(fl, name)
+}

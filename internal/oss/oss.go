@@ -30,7 +30,10 @@ type Store interface {
 	// Put stores an object, replacing any existing value. Implementations
 	// must not retain data after Put returns (copy it, write it out, or
 	// send it) — callers recycle upload buffers, e.g. the container pack
-	// stage pools sealed payloads.
+	// stage pools sealed payloads. slimlint enforces this on every
+	// implementation in the module.
+	//
+	//slimlint:contract noretain data
 	Put(key string, data []byte) error
 	// Get retrieves a whole object. The returned slice must not be
 	// modified by the caller if the implementation shares memory.
