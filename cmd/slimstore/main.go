@@ -27,8 +27,10 @@
 // command against a repository must use the same values it was created
 // with. -hash-workers, -pack-workers and -pack-budget tune the ingest
 // fast path (DESIGN §13), and -legacy-ingest falls back to the old
-// pipelined ingest for comparison; these affect performance only, not
-// the repository layout.
+// pipelined ingest for comparison; -verify-workers and -restore-window
+// tune the restore fast path (DESIGN §14), and -legacy-restore falls
+// back to the serial per-chunk restore emit. These affect performance
+// only, not the repository layout.
 package main
 
 import (
@@ -56,6 +58,9 @@ var (
 	packWorkers    = 0
 	packBudget     = int64(0)
 	legacyIngest   = false
+	verifyWorkers  = 0
+	restoreWindow  = 0
+	legacyRestore  = false
 )
 
 func openSystem(repo string) (*slimstore.System, error) {
@@ -74,6 +79,13 @@ func openSystem(repo string) (*slimstore.System, error) {
 		cfg.PackBudgetBytes = packBudget
 	}
 	cfg.LegacyIngest = legacyIngest
+	if verifyWorkers != 0 {
+		cfg.VerifyWorkers = verifyWorkers
+	}
+	if restoreWindow != 0 {
+		cfg.RestoreWindow = restoreWindow
+	}
+	cfg.LegacyRestore = legacyRestore
 	switch {
 	case strings.HasPrefix(repo, "dir:"):
 		return slimstore.OpenDirectory(strings.TrimPrefix(repo, "dir:"), cfg)
@@ -153,6 +165,9 @@ func main() {
 	fs.IntVar(&packWorkers, "pack-workers", 0, "background container-sealing workers (0 = default 4, negative = synchronous writes)")
 	fs.Int64Var(&packBudget, "pack-budget", 0, "ingest buffer budget: max bytes of sealed containers in flight (0 = 3x pack-workers x container capacity)")
 	fs.BoolVar(&legacyIngest, "legacy-ingest", false, "use the pre-fast-path pipelined ingest (debugging/comparison)")
+	fs.IntVar(&verifyWorkers, "verify-workers", 0, "restore verification worker-pool size (0 = default 4, negative = verify on the pipeline)")
+	fs.IntVar(&restoreWindow, "restore-window", 0, "restore pipeline window: max in-flight chunk slots (0 = default 256)")
+	fs.BoolVar(&legacyRestore, "legacy-restore", false, "use the serial per-chunk restore emit (debugging/comparison)")
 
 	switch cmd {
 	case "backup":
@@ -220,6 +235,8 @@ func main() {
 		fmt.Printf("restored %q version %d: %d bytes (%d container reads, %d shared-cache hits, %d singleflight joins, %d ranged reads/%d spans)\n",
 			*name, v, st.Bytes, st.Cache.ContainersRead,
 			st.Cache.SharedHits, st.Cache.SharedJoins, st.Cache.RangedReads, st.Cache.RangedSpans)
+		fmt.Printf("prefetch: %d slots dispatched, %d consumed, %d direct fetches, %d cancelled\n",
+			st.Prefetch.Dispatched, st.Prefetch.Consumed, st.Prefetch.Direct, st.Prefetch.Cancelled)
 
 	case "list":
 		fs.Parse(args)
@@ -404,6 +421,9 @@ func main() {
 			}
 			fmt.Printf("verified %q version %d: %d bytes intact\n", r.Job.FileID, r.Job.Version, r.Restore.Bytes)
 		}
+		es := eng.Stats()
+		fmt.Printf("verify summary: %d jobs, %d bytes verified (prefetch: %d dispatched, %d consumed, %d direct)\n",
+			es.VerifyJobs, es.VerifiedBytes, es.PrefetchDispatched, es.PrefetchConsumed, es.PrefetchDirect)
 
 	case "gc":
 		fs.Parse(args)

@@ -1,0 +1,406 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"slimstore/internal/cache"
+	"slimstore/internal/core"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/gnode"
+	"slimstore/internal/lnode"
+	"slimstore/internal/oss"
+	"slimstore/internal/simclock"
+	"slimstore/internal/workload"
+)
+
+func init() {
+	register("restorefast", "Restore fast path: serial vs pooled parallel-verify pipeline (DESIGN.md §14)", runRestoreFast)
+}
+
+// This experiment is the read-side twin of the ingest benchmark: it pins
+// what the pooled restore pipeline (internal/lnode/restorefast.go) buys
+// over the serial per-chunk emit, and that it buys it without changing a
+// single virtual charge. Every point runs the SAME restore twice — once
+// with Config.LegacyRestore (charge, verify, write inside one sequential
+// callback) and once through the emit→verify→write pipeline — and
+// compares accounts: the twin columns must match bit-for-bit while the
+// pipeline's stage-max virtual time pulls ahead.
+
+// restoreFastPolicies is the full policy matrix: the pipeline is
+// policy-agnostic (the prefetcher dispatches from the pinned sequence,
+// not from the policy), so every policy must show the same twin identity.
+var restoreFastPolicies = []string{"fv", "opt", "alacc", "lru"}
+
+// RestoreFastPoint is one (policy, verify-worker) cell: the serial
+// composition vs the pipelined stage-max model over identical charges.
+type RestoreFastPoint struct {
+	Policy        string `json:"policy"`
+	VerifyWorkers int    `json:"verify_workers"`
+	Bytes         int64  `json:"bytes"`
+
+	// Virtual columns are deterministic: serial is the legacy pipeline's
+	// fully sequential composition (every fetch blocks the SHA blocks the
+	// write); fast is the stage-max of the overlapped pipeline stages
+	// computed over the SAME account totals.
+	SerialVirtualMBps float64 `json:"serial_virtual_mbps"`
+	FastVirtualMBps   float64 `json:"fast_virtual_mbps"`
+	VirtualSpeedup    float64 `json:"virtual_speedup"`
+
+	// Wall columns are informational (host-dependent).
+	SerialWallMS float64 `json:"serial_wall_ms"`
+	FastWallMS   float64 `json:"fast_wall_ms"`
+
+	// Twin identity: the pipelined run must restore the same bytes and
+	// produce bit-identical virtual accounts (cache stats, CPU, I/O).
+	BytesMatch bool `json:"bytes_match"`
+	StatsMatch bool `json:"stats_match"`
+}
+
+// RestoreFastDense is the dense full-file range-restore control: range
+// restores keep strictly sequential virtual time (the ranged-read
+// planner's cost model is calibrated against it, see BENCH_restoreio),
+// so the pipeline must change nothing there — not even the elapsed time.
+type RestoreFastDense struct {
+	Bytes        int64   `json:"bytes"`
+	SerialMS     float64 `json:"serial_virtual_ms"`
+	FastMS       float64 `json:"fast_virtual_ms"`
+	BytesMatch   bool    `json:"bytes_match"`
+	ElapsedMatch bool    `json:"elapsed_match"`
+}
+
+// RestoreFastResidency reports peak live heap while the pipeline streams
+// a verify-restore: the window bounds slots in flight, so residency is
+// the base repo footprint plus O(window × chunk size), not O(file).
+type RestoreFastResidency struct {
+	RestoredBytes int64   `json:"restored_bytes"`
+	BaseHeapMiB   float64 `json:"base_heap_mib"`
+	PeakHeapMiB   float64 `json:"peak_heap_mib"`
+	PipelineMiB   float64 `json:"pipeline_mib"`
+}
+
+// RestoreFastReport is the BENCH_restorefast.json schema: the regression
+// artifact TestRestoreFastRegression gates on.
+type RestoreFastReport struct {
+	Experiment      string   `json:"experiment"`
+	FileBytes       int      `json:"file_bytes"`
+	Versions        int      `json:"versions"`
+	PrefetchThreads int      `json:"prefetch_threads"`
+	HostCPUs        int      `json:"host_cpus"`
+	Policies        []string `json:"policies"`
+
+	Points []RestoreFastPoint `json:"points"`
+	Dense  RestoreFastDense   `json:"dense"`
+
+	// Steady-state hand-off allocations per pass: the pooled
+	// emit→verify→write pipeline vs the materialize-per-chunk baseline.
+	HandoffFastAllocs   float64 `json:"handoff_fast_allocs_per_pass"`
+	HandoffLegacyAllocs float64 `json:"handoff_legacy_allocs_per_pass"`
+
+	Residency RestoreFastResidency `json:"residency"`
+}
+
+// restorefastOutPath decides where the JSON artifact lands;
+// BENCH_RESTOREFAST_OUT overrides the default.
+func restorefastOutPath() string {
+	//slimlint:ignore determinism BENCH_RESTOREFAST_OUT only picks where the artifact file lands; it never affects measured results
+	if p := os.Getenv("BENCH_RESTOREFAST_OUT"); p != "" {
+		return p
+	}
+	return "BENCH_restorefast.json"
+}
+
+// restoreVirtual composes the pipelined restore's virtual elapsed time
+// from the account's phase totals: OSS reads overlap across the LAW
+// prefetch channels, fingerprint verification fans out over the verify
+// pool (W-way), the emit stage (restore memcpy + disk-cache traffic +
+// redirect index queries) stays serial in sequence order, and the sink
+// runs write-behind. The slowest stage is the pipeline's period.
+func restoreVirtual(acct *simclock.Account, verifyW, threads int) time.Duration {
+	if verifyW < 1 {
+		verifyW = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	io := acct.IO()
+	stages := []time.Duration{
+		io.ReadTime / time.Duration(threads),
+		acct.CPUPhase(simclock.PhaseFingerprint) / time.Duration(verifyW),
+		acct.CPUPhase(simclock.PhaseOther) + acct.CPUPhase(simclock.PhaseIndexQuery),
+		io.WriteTime,
+	}
+	var max time.Duration
+	for _, s := range stages {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// restoreFastChain is slimChain with the node-wide shared restore cache
+// disabled: the twin comparison needs both runs of a pair to hit cold,
+// per-job fetch accounting (a shared cache warmed by the serial run
+// would hand the pipelined run free containers and skew its account).
+func restoreFastChain(gen *workload.Generator, fileIdx, versions int) (*core.Repo, error) {
+	cfg := benchConfig()
+	cfg.SharedCacheBytes = -1
+	repo, err := core.OpenRepo(oss.NewMem(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln := lnode.New(repo, "L-chain")
+	defer ln.Close()
+	gn := gnode.New(repo)
+	fileID := gen.FileIDs()[fileIdx]
+	err = gen.VersionSeq(fileIdx, func(v int, data []byte) error {
+		if v >= versions {
+			return errDone
+		}
+		st, err := ln.Backup(fileID, data)
+		if err != nil {
+			return err
+		}
+		if _, err := gn.ReverseDedup(st.NewContainers); err != nil {
+			return err
+		}
+		_, err = gn.CompactSparse(fileID, v, st.SparseContainers)
+		return err
+	})
+	if err != nil && err != errDone {
+		return nil, err
+	}
+	return repo, nil
+}
+
+// restoreTwinMatch compares the serial and pipelined runs of one
+// restore: same bytes, and bit-identical virtual accounting (cache
+// stats, per-phase CPU totals, I/O totals). The prefetcher's
+// consumed-vs-direct split is scheduling-dependent and excluded — the
+// charges it produces are not.
+func restoreTwinMatch(serial, fast *lnode.RestoreStats) (bytesMatch, statsMatch bool) {
+	bytesMatch = serial.Bytes == fast.Bytes
+	sio, fio := serial.Account.IO(), fast.Account.IO()
+	statsMatch = bytesMatch &&
+		serial.Redirects == fast.Redirects &&
+		serial.Cache == fast.Cache &&
+		sio == fio &&
+		serial.Account.CPUTime() == fast.Account.CPUTime()
+	return bytesMatch, statsMatch
+}
+
+// heapPeakWriter samples live heap every 2 MiB of restored output.
+type heapPeakWriter struct {
+	since int64
+	peak  uint64
+}
+
+func (h *heapPeakWriter) Write(p []byte) (int, error) {
+	h.since += int64(len(p))
+	if h.since >= 2<<20 {
+		h.since = 0
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > h.peak {
+			h.peak = ms.HeapAlloc
+		}
+	}
+	return len(p), nil
+}
+
+// RunRestoreFast measures serial vs pipelined restore over
+// workerCounts × the full policy matrix on one optimised version chain,
+// plus the dense range-restore control, the steady-state hand-off
+// allocation comparison, and a pipelined verify-restore residency row.
+func RunRestoreFast(ctx context.Context, workerCounts []int, s Scale) (*RestoreFastReport, error) {
+	versions := clampVersions(s, 8)
+	gen := workload.New(workload.SDB(s.Files, s.FileBytes))
+	fileIdx := 0
+	fileID := gen.FileIDs()[fileIdx]
+	repo, err := restoreFastChain(gen, fileIdx, versions)
+	if err != nil {
+		return nil, err
+	}
+	version := versions - 1
+
+	rep := &RestoreFastReport{
+		Experiment:      "restorefast",
+		FileBytes:       s.FileBytes,
+		Versions:        versions,
+		PrefetchThreads: repo.Config.PrefetchThreads,
+		HostCPUs:        runtime.NumCPU(),
+		Policies:        restoreFastPolicies,
+	}
+	threads := repo.Config.PrefetchThreads
+
+	for _, w := range workerCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Fresh node per worker count: the dedicated verify pool is sized
+		// once per node, so reusing a node across W would pin the first
+		// width for every later wall measurement.
+		repo.Config.VerifyWorkers = w
+		node := lnode.New(repo, fmt.Sprintf("L-w%d", w))
+		for _, policy := range restoreFastPolicies {
+			repo.Config.RestorePolicy = policy
+
+			repo.Config.LegacyRestore = true
+			//slimlint:ignore determinism the wall-clock columns ARE the measurement: this sweep reports host restore speed next to the virtual model
+			start := time.Now()
+			sst, err := node.Verify(fileID, version)
+			//slimlint:ignore determinism wall-clock is the measured quantity here
+			sWall := time.Since(start)
+			if err != nil {
+				node.Close()
+				return nil, fmt.Errorf("restorefast: serial verify (%s, w=%d): %w", policy, w, err)
+			}
+
+			repo.Config.LegacyRestore = false
+			//slimlint:ignore determinism the wall-clock columns ARE the measurement: this sweep reports host restore speed next to the virtual model
+			start = time.Now()
+			fst, err := node.Verify(fileID, version)
+			//slimlint:ignore determinism wall-clock is the measured quantity here
+			fWall := time.Since(start)
+			if err != nil {
+				node.Close()
+				return nil, fmt.Errorf("restorefast: pipelined verify (%s, w=%d): %w", policy, w, err)
+			}
+
+			pt := RestoreFastPoint{Policy: policy, VerifyWorkers: w, Bytes: fst.Bytes}
+			pt.SerialVirtualMBps = simclock.ThroughputMBps(sst.Bytes, sst.Account.ElapsedSequential())
+			pt.FastVirtualMBps = simclock.ThroughputMBps(fst.Bytes, restoreVirtual(fst.Account, w, threads))
+			if pt.SerialVirtualMBps > 0 {
+				pt.VirtualSpeedup = pt.FastVirtualMBps / pt.SerialVirtualMBps
+			}
+			pt.SerialWallMS = float64(sWall.Microseconds()) / 1e3
+			pt.FastWallMS = float64(fWall.Microseconds()) / 1e3
+			pt.BytesMatch, pt.StatsMatch = restoreTwinMatch(sst, fst)
+			rep.Points = append(rep.Points, pt)
+		}
+		node.Close()
+	}
+
+	// Dense control: a full-file range restore must be untouched by the
+	// pipeline — identical bytes AND identical (strictly sequential)
+	// virtual elapsed time, so the restoreio cost-model calibration holds.
+	repo.Config.RestorePolicy = "fv"
+	node := lnode.New(repo, "L-dense")
+	defer node.Close()
+	repo.Config.LegacyRestore = true
+	dst, err := node.RestoreRange(fileID, version, 0, -1, io.Discard)
+	if err != nil {
+		return nil, fmt.Errorf("restorefast: serial dense range restore: %w", err)
+	}
+	repo.Config.LegacyRestore = false
+	fdt, err := node.RestoreRange(fileID, version, 0, -1, io.Discard)
+	if err != nil {
+		return nil, fmt.Errorf("restorefast: pipelined dense range restore: %w", err)
+	}
+	rep.Dense = RestoreFastDense{
+		Bytes:        fdt.Bytes,
+		SerialMS:     float64(dst.Elapsed.Microseconds()) / 1e3,
+		FastMS:       float64(fdt.Elapsed.Microseconds()) / 1e3,
+		BytesMatch:   dst.Bytes == fdt.Bytes,
+		ElapsedMatch: dst.Elapsed == fdt.Elapsed,
+	}
+
+	// Steady-state hand-off allocations: drive synthetic chunks through
+	// the pooled pipeline vs the materialize-per-chunk baseline.
+	hcfg := benchConfig()
+	hrepo, err := core.OpenRepo(oss.NewMem(), hcfg)
+	if err != nil {
+		return nil, err
+	}
+	hnode := lnode.New(hrepo, "L-handoff")
+	defer hnode.Close()
+	const handoffChunks, handoffChunkBytes = 2048, 4096
+	buf := make([]byte, handoffChunks*handoffChunkBytes)
+	if _, err := (&ingestRand{state: 7}).Read(buf); err != nil {
+		return nil, err
+	}
+	chunks := make([][]byte, handoffChunks)
+	seq := make([]cache.Request, handoffChunks)
+	for i := range chunks {
+		chunks[i] = buf[i*handoffChunkBytes : (i+1)*handoffChunkBytes]
+		seq[i] = cache.Request{
+			FP:   fingerprint.Of(hcfg.FingerprintAlg, chunks[i]),
+			Size: uint32(len(chunks[i])),
+		}
+	}
+	rep.HandoffFastAllocs = allocsPerRun(10, func() { hnode.RestoreHandoff(chunks, seq, true) })
+	rep.HandoffLegacyAllocs = allocsPerRun(10, func() {
+		lnode.LegacyRestoreHandoff(hcfg.FingerprintAlg, chunks, seq, true)
+	})
+
+	// Residency: peak live heap while the pipeline streams a full
+	// verify-restore through the bounded window.
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	repo.Config.VerifyRestore = true
+	hw := &heapPeakWriter{}
+	rst, err := node.Restore(fileID, version, hw)
+	repo.Config.VerifyRestore = false
+	if err != nil {
+		return nil, fmt.Errorf("restorefast: residency restore: %w", err)
+	}
+	rep.Residency = RestoreFastResidency{
+		RestoredBytes: rst.Bytes,
+		BaseHeapMiB:   float64(base.HeapAlloc) / (1 << 20),
+		PeakHeapMiB:   float64(hw.peak) / (1 << 20),
+	}
+	if hw.peak > base.HeapAlloc {
+		rep.Residency.PipelineMiB = float64(hw.peak-base.HeapAlloc) / (1 << 20)
+	}
+	return rep, nil
+}
+
+// runRestoreFast is the registered experiment: it prints the sweep and
+// writes the BENCH_restorefast.json regression artifact (path via
+// BENCH_RESTOREFAST_OUT).
+func runRestoreFast(ctx context.Context, w io.Writer, s Scale) error {
+	rep, err := RunRestoreFast(ctx, []int{1, 2, 4, 8}, s)
+	if err != nil {
+		return err
+	}
+
+	t := newTable(w, "Restore fast path: serial vs pooled parallel-verify pipeline (virtual MB/s)")
+	t.row("policy", "verifyW", "serial virtual", "fast virtual", "speedup", "serial wall ms", "fast wall ms", "twin")
+	for _, p := range rep.Points {
+		twin := "ok"
+		if !p.BytesMatch || !p.StatsMatch {
+			twin = "MISMATCH"
+		}
+		t.row(p.Policy, fmt.Sprint(p.VerifyWorkers),
+			f1(p.SerialVirtualMBps), f1(p.FastVirtualMBps), f2(p.VirtualSpeedup),
+			f1(p.SerialWallMS), f1(p.FastWallMS), twin)
+	}
+	t.flush()
+	fmt.Fprintf(w, "dense range restore: serial %.1f ms vs pipelined %.1f ms (elapsed match %v, bytes match %v)\n",
+		rep.Dense.SerialMS, rep.Dense.FastMS, rep.Dense.ElapsedMatch, rep.Dense.BytesMatch)
+	fmt.Fprintf(w, "hand-off allocs/pass: legacy %.1f, fast %.1f (%.0fx lean)\n",
+		rep.HandoffLegacyAllocs, rep.HandoffFastAllocs,
+		rep.HandoffLegacyAllocs/maxf(rep.HandoffFastAllocs, 1))
+	fmt.Fprintf(w, "pipelined verify-restore of %s: peak live heap %.1f MiB (base %.1f MiB, pipeline +%.1f MiB)\n",
+		mib(rep.Residency.RestoredBytes), rep.Residency.PeakHeapMiB,
+		rep.Residency.BaseHeapMiB, rep.Residency.PipelineMiB)
+
+	out := restorefastOutPath()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", out)
+	return nil
+}

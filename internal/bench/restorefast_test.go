@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestRestoreFastRegression is the BENCH_restorefast.json gate:
+//   - the virtual pipeline model at 4 verify workers must be >= 2x the
+//     serial composition for EVERY policy (the deterministic stage-max
+//     claim; measured ~4-6x — the serial path is read-bound and the
+//     pipeline overlaps reads across the prefetch channels);
+//   - every point must be a bit-identical twin: same restored bytes and
+//     same virtual accounts as the serial emit;
+//   - the dense full-file range restore must be completely untouched by
+//     the pipeline (identical bytes AND identical sequential elapsed
+//     time — the restoreio cost-model calibration depends on it);
+//   - the pooled hand-off must allocate far less per pass than the
+//     materialize-per-chunk baseline (skipped under -race: instrumented
+//     allocation counts).
+func TestRestoreFastRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration restore sweep")
+	}
+	rep, err := RunRestoreFast(context.Background(), []int{1, 4}, SmallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range rep.Points {
+		if !p.BytesMatch {
+			t.Errorf("%s w=%d: pipelined restore produced different bytes", p.Policy, p.VerifyWorkers)
+		}
+		if !p.StatsMatch {
+			t.Errorf("%s w=%d: pipelined restore diverged from the serial virtual account", p.Policy, p.VerifyWorkers)
+		}
+	}
+
+	w4 := map[string]RestoreFastPoint{}
+	for _, p := range rep.Points {
+		if p.VerifyWorkers == 4 {
+			w4[p.Policy] = p
+		}
+	}
+	for _, policy := range restoreFastPolicies {
+		p, ok := w4[policy]
+		if !ok {
+			t.Fatalf("no 4-worker point for policy %s", policy)
+		}
+		if p.FastVirtualMBps < 2*p.SerialVirtualMBps {
+			t.Errorf("virtual restore (%s, w=4): fast %.1f MB/s < 2x serial %.1f MB/s",
+				policy, p.FastVirtualMBps, p.SerialVirtualMBps)
+		}
+	}
+
+	if !rep.Dense.BytesMatch {
+		t.Errorf("dense range restore: pipelined bytes differ from serial")
+	}
+	if !rep.Dense.ElapsedMatch {
+		t.Errorf("dense range restore: pipelined elapsed %.3f ms != serial %.3f ms (range restores must stay sequential-time)",
+			rep.Dense.FastMS, rep.Dense.SerialMS)
+	}
+
+	// Heap growth during the pipelined restore is dominated by the job's
+	// chunk cache (64 MiB configured); the pipeline window itself adds
+	// O(window × chunk size). Gate that the total stays bounded by the
+	// cache budget — an unbounded pipeline would retain the restored
+	// stream on top of it.
+	if rep.Residency.PeakHeapMiB > 0 && rep.Residency.PipelineMiB > 64 {
+		t.Errorf("pipelined restore residency grew by %.1f MiB — exceeds the 64 MiB cache budget, pipeline window is not bounded",
+			rep.Residency.PipelineMiB)
+	}
+
+	if benchRace {
+		t.Log("allocation gate skipped under -race (instrumented counts)")
+		return
+	}
+	if rep.HandoffFastAllocs*4 > rep.HandoffLegacyAllocs {
+		t.Errorf("hand-off allocs: fast %.1f/pass is not 4x below legacy %.1f/pass (host %d CPUs)",
+			rep.HandoffFastAllocs, rep.HandoffLegacyAllocs, runtime.NumCPU())
+	}
+}

@@ -26,11 +26,32 @@ type Prefetcher struct {
 
 	mu    sync.Mutex
 	slots map[container.ID]*pfSlot
+	stats PrefetchStats
 
 	jobs chan container.ID
 	sem  chan struct{} // bounds dispatched-but-unconsumed containers
 	wg   sync.WaitGroup
 	stop chan struct{}
+}
+
+// PrefetchStats reports how effective a restore's LAW prefetching was:
+// how many container slots the feeder dispatched to workers, how many of
+// those the consumer actually took from their slot, how many requests
+// bypassed the slots entirely (rereads, or the consumer outran the
+// prefetch window), and how many dispatched slots were never consumed
+// (work the workers fetched for nothing — normally zero; early aborts
+// and shutdown races strand slots).
+//
+// The split between Consumed and Direct depends on goroutine scheduling
+// (a fast consumer overtakes the feeder), so these counters are
+// observability, not determinism: virtual-time accounting is unaffected
+// because each container's read is charged exactly once whichever side
+// issues it. Twin tests normalise this field before DeepEqual.
+type PrefetchStats struct {
+	Dispatched int // slots handed to prefetch workers
+	Consumed   int // fetches served from a dispatched slot
+	Direct     int // fetches that bypassed the slots
+	Cancelled  int // dispatched slots never consumed
 }
 
 type pfSlot struct {
@@ -94,6 +115,7 @@ func NewPrefetcher(fetch Fetcher, seq []Request, threads, buffer int) *Prefetche
 				continue
 			}
 			s.dispatched = true
+			p.stats.Dispatched++
 			p.mu.Unlock()
 			select {
 			case p.jobs <- id:
@@ -123,11 +145,15 @@ func (p *Prefetcher) Fetch(id container.ID) (*container.Container, error) {
 	p.mu.Lock()
 	s := p.slots[id]
 	if s == nil || s.consumed {
+		p.stats.Direct++
 		p.mu.Unlock()
 		return p.fetch(id)
 	}
 	s.consumed = true
 	dispatched := s.dispatched
+	if !dispatched {
+		p.stats.Direct++
+	}
 	p.mu.Unlock()
 	if !dispatched {
 		// Not in flight yet: fetch directly; the feeder will skip the
@@ -144,11 +170,27 @@ func (p *Prefetcher) Fetch(id container.ID) (*container.Container, error) {
 		select {
 		case <-s.done:
 		default:
+			p.mu.Lock()
+			p.stats.Direct++
+			p.mu.Unlock()
 			return p.fetch(id)
 		}
 	}
 	<-p.sem // free the buffer slot
+	p.mu.Lock()
+	p.stats.Consumed++
+	p.mu.Unlock()
 	return s.c, s.err
+}
+
+// Stats snapshots the prefetcher's effectiveness counters. Cancelled is
+// derived: dispatched slots whose fetch no consumer ever took.
+func (p *Prefetcher) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Cancelled = st.Dispatched - st.Consumed
+	return st
 }
 
 // Close stops the workers; safe to call multiple times.

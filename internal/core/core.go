@@ -110,6 +110,27 @@ type Config struct {
 	// off (their skip cuts make boundaries depend on dedup decisions).
 	// 0 selects the default (4); negative hashes inline.
 	HashWorkers int
+	// VerifyWorkers is the fan-out width of per-chunk fingerprint
+	// verification on the restore fast path (DESIGN.md §14): verify jobs
+	// are spread over a persistent hash worker pool instead of paying one
+	// serial SHA per chunk. 0 selects the default (4, sharing the
+	// HashWorkers pool when the sizes agree); negative verifies inline on
+	// the pipeline's reassembly stage.
+	VerifyWorkers int
+	// RestoreWindow bounds the restore pipeline's in-flight chunk slots
+	// (the reassembly ring depth): how far fetch/decode may run ahead of
+	// the verified, in-order sink writes. It is the restore counterpart
+	// of the ingest ring and caps resident pipeline memory at
+	// O(window × chunk size). 0 selects the default (256); values below 2
+	// are clamped to 2 (the minimum that still overlaps).
+	RestoreWindow int
+	// LegacyRestore selects the pre-fast-path serial restore emit: every
+	// chunk is charged, verified, and written inside one sequential
+	// callback. Default false — the pooled reassembly-ring pipeline
+	// (DESIGN.md §14). The restorefast benchmark uses this as its
+	// measured baseline, the way LegacyIngest serves the ingest
+	// experiment.
+	LegacyRestore bool
 	// LegacyIngest selects the pre-fast-path pipelined ingest on the
 	// content-defined path: materialize every chunk into one []Chunk,
 	// spawn hash workers per call, probe the dedup cache chunk-by-chunk.
@@ -197,6 +218,8 @@ func DefaultConfig() Config {
 		PrefetchThreads:       6,
 		PackWorkers:           4,
 		HashWorkers:           4,
+		VerifyWorkers:         4,
+		RestoreWindow:         256,
 		MaintWorkers:          4,
 		Costs:                 simclock.DefaultCosts(),
 	}
@@ -251,6 +274,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.HashWorkers == 0 {
 		c.HashWorkers = d.HashWorkers
+	}
+	if c.VerifyWorkers == 0 {
+		c.VerifyWorkers = d.VerifyWorkers
+	}
+	if c.RestoreWindow == 0 {
+		c.RestoreWindow = d.RestoreWindow
+	}
+	if c.RestoreWindow < 2 {
+		c.RestoreWindow = 2
 	}
 	if c.MaintWorkers == 0 {
 		c.MaintWorkers = d.MaintWorkers

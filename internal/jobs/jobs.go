@@ -140,6 +140,15 @@ type Stats struct {
 	Completed int64
 	Failed    int64
 	Cancelled int64
+
+	// Restore data-path aggregates (restore fast path, DESIGN.md §14):
+	// verify-job volume and LAW prefetcher effectiveness summed over every
+	// completed restore and verify job.
+	VerifyJobs         int64 // verify jobs whose chunks all checked out
+	VerifiedBytes      int64 // logical bytes those jobs fingerprint-verified
+	PrefetchDispatched int64 // container slots handed to prefetch workers
+	PrefetchConsumed   int64 // fetches served from a dispatched slot
+	PrefetchDirect     int64 // fetches that bypassed the prefetch slots
 }
 
 // Engine schedules jobs over a pool of goroutine-hosted L-nodes and one
@@ -158,6 +167,12 @@ type Engine struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+
+	verifyJobs    atomic.Int64
+	verifiedBytes atomic.Int64
+	pfDispatched  atomic.Int64
+	pfConsumed    atomic.Int64
+	pfDirect      atomic.Int64
 }
 
 // New starts an engine over repo. The G-node serialises its own
@@ -237,10 +252,15 @@ func (e *Engine) Close() {
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted: e.submitted.Load(),
-		Completed: e.completed.Load(),
-		Failed:    e.failed.Load(),
-		Cancelled: e.cancelled.Load(),
+		Submitted:          e.submitted.Load(),
+		Completed:          e.completed.Load(),
+		Failed:             e.failed.Load(),
+		Cancelled:          e.cancelled.Load(),
+		VerifyJobs:         e.verifyJobs.Load(),
+		VerifiedBytes:      e.verifiedBytes.Load(),
+		PrefetchDispatched: e.pfDispatched.Load(),
+		PrefetchConsumed:   e.pfConsumed.Load(),
+		PrefetchDirect:     e.pfDirect.Load(),
 	}
 }
 
@@ -277,6 +297,17 @@ func (e *Engine) host(ln *lnode.LNode) {
 	}
 }
 
+// noteRestore folds one restore/verify job's prefetcher effectiveness
+// into the engine aggregates.
+func (e *Engine) noteRestore(st *lnode.RestoreStats, err error) {
+	if err != nil || st == nil {
+		return
+	}
+	e.pfDispatched.Add(int64(st.Prefetch.Dispatched))
+	e.pfConsumed.Add(int64(st.Prefetch.Consumed))
+	e.pfDirect.Add(int64(st.Prefetch.Direct))
+}
+
 // latest resolves Version < 0 to the file's newest version.
 func (e *Engine) latest(j Job) (int, error) {
 	if j.Version >= 0 {
@@ -308,6 +339,7 @@ func (e *Engine) run(ln *lnode.LNode, j Job) Result {
 			out = io.Discard
 		}
 		res.Restore, res.Err = ln.Restore(j.FileID, v, out)
+		e.noteRestore(res.Restore, res.Err)
 	case Verify:
 		v, err := e.latest(j)
 		if err != nil {
@@ -315,6 +347,11 @@ func (e *Engine) run(ln *lnode.LNode, j Job) Result {
 			return res
 		}
 		res.Restore, res.Err = ln.Verify(j.FileID, v)
+		e.noteRestore(res.Restore, res.Err)
+		if res.Err == nil && res.Restore != nil {
+			e.verifyJobs.Add(1)
+			e.verifiedBytes.Add(res.Restore.Bytes)
+		}
 	case Delete:
 		res.GC, res.Err = e.g.DeleteVersion(j.FileID, j.Version)
 	case Optimize:

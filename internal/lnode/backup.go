@@ -37,6 +37,12 @@ type LNode struct {
 	hpool  *hashPool
 	closed bool
 	runs   sync.Pool // *ingestRun
+
+	// Restore fast-path resources (restorefast.go): an optional dedicated
+	// verify pool (nil when verification shares hpool) and recycled
+	// reassembly-ring runs.
+	vpool *hashPool
+	rruns sync.Pool // *restoreRun
 }
 
 // New returns an L-node. name is informational (logs, stats).

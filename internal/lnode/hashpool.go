@@ -79,11 +79,16 @@ func (n *LNode) hashers() *hashPool {
 func (n *LNode) Close() {
 	n.mu.Lock()
 	pool := n.hpool
+	vpool := n.vpool
 	n.hpool = nil
+	n.vpool = nil
 	n.closed = true
 	n.mu.Unlock()
 	if pool != nil {
 		pool.close()
+	}
+	if vpool != nil {
+		vpool.close()
 	}
 }
 

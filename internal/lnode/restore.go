@@ -21,8 +21,12 @@ type RestoreStats struct {
 	Redirects int // chunks relocated by reverse dedup / SCC (old versions)
 
 	PrefetchThreads int
-	Account         *simclock.Account
-	Elapsed         time.Duration
+	// Prefetch reports LAW prefetcher effectiveness (dispatched/consumed/
+	// direct/cancelled slots). The consumed-vs-direct split depends on
+	// goroutine scheduling; virtual-time accounting does not (DESIGN.md §14).
+	Prefetch cache.PrefetchStats
+	Account  *simclock.Account
+	Elapsed  time.Duration
 }
 
 // ThroughputMBps is the restore throughput in MB/s of virtual time.
@@ -87,25 +91,41 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 	defer rio.close()
 	fetch := cache.Fetcher(rio.fetch)
 	threads := cfg.PrefetchThreads
-	if threads > 0 && cfg.RestorePolicy == "fv" {
-		pf := cache.NewPrefetcher(fetch, seq, threads, threads*2)
+	var pf *cache.Prefetcher
+	if threads > 0 {
+		// LAW prefetching is policy-agnostic: the dispatch sequence derives
+		// from the pinned request sequence, not from the policy, so OSS
+		// reads overlap the restore pipeline for every policy (DESIGN.md
+		// §14) — the policy's own fetches are served from prefetch slots.
+		pf = cache.NewPrefetcher(fetch, seq, threads, threads*2)
 		defer pf.Close()
 		fetch = pf.Fetch
 	}
 
-	pos := 0
-	cstats, err := policy.Restore(seq, fetch, func(data []byte) error {
-		acct.ChargeCPUBytes(simclock.PhaseOther, int64(len(data)), cfg.Costs.RestorePerByte)
-		if verify {
-			if got := n.repo.Fingerprint(acct, data); got != seq[pos].FP {
-				return fmt.Errorf("lnode: verify %s v%d: chunk %d corrupt (got %s, want %s)",
-					fileID, version, pos, got.Short(), seq[pos].FP.Short())
+	var emit cache.Emit
+	var run *restoreRun
+	if cfg.LegacyRestore {
+		pos := 0
+		emit = func(data []byte) error {
+			acct.ChargeCPUBytes(simclock.PhaseOther, int64(len(data)), cfg.Costs.RestorePerByte)
+			if verify {
+				if got := n.repo.Fingerprint(acct, data); got != seq[pos].FP {
+					return fmt.Errorf("lnode: verify %s v%d: chunk %d corrupt (got %s, want %s)",
+						fileID, version, pos, got.Short(), seq[pos].FP.Short())
+				}
 			}
+			pos++
+			_, werr := w.Write(data)
+			return werr
 		}
-		pos++
-		_, werr := w.Write(data)
-		return werr
-	})
+	} else {
+		run = n.newRestoreRun(acct, w, verify, seq, fileID, version)
+		emit = run.emit
+	}
+	cstats, err := policy.Restore(seq, fetch, emit)
+	if run != nil {
+		_, err = run.finish(err)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("lnode: restore %s v%d: %w", fileID, version, err)
 	}
@@ -118,6 +138,9 @@ func (n *LNode) restore(fileID string, version int, w io.Writer, verify bool) (*
 	stats.Cache.ResolveMetaReads = rst.metaReads
 	stats.Cache.ResolveMetaMemoHits = rst.memoHits
 	rio.addTo(&stats.Cache)
+	if pf != nil {
+		stats.Prefetch = pf.Stats()
+	}
 	if threads > 0 {
 		// LAW prefetching overlaps OSS reads with the restore pipeline
 		// across `threads` parallel channels (§V-A, Table II).

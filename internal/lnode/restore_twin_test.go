@@ -1,0 +1,362 @@
+package lnode
+
+import (
+	"bytes"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"slimstore/internal/cache"
+	"slimstore/internal/chunker"
+	"slimstore/internal/core"
+	"slimstore/internal/fingerprint"
+	"slimstore/internal/oss"
+)
+
+// restorePolicies are the four cache policies the restore pipeline must
+// be twin-identical under.
+var restorePolicies = []string{"fv", "opt", "alacc", "lru"}
+
+// comparableRestore strips the account pointer and the prefetcher
+// effectiveness counters (the consumed-vs-direct split depends on
+// goroutine scheduling; prefetchConserved checks it separately) so twin
+// stats compare field-for-field, including virtual Elapsed.
+func comparableRestore(s *RestoreStats) RestoreStats {
+	c := *s
+	c.Account = nil
+	c.Prefetch = cache.PrefetchStats{}
+	return c
+}
+
+// prefetchConserved asserts the scheduling-dependent counters are at
+// least self-consistent on a successful restore: every dispatched slot
+// was consumed (no worker fetched for nothing).
+func prefetchConserved(t *testing.T, st *RestoreStats) {
+	t.Helper()
+	if st.Prefetch.Cancelled != 0 {
+		t.Errorf("prefetch cancelled %d slots on a clean restore: %+v", st.Prefetch.Cancelled, st.Prefetch)
+	}
+	if st.Prefetch.Dispatched != st.Prefetch.Consumed {
+		t.Errorf("prefetch dispatched %d != consumed %d", st.Prefetch.Dispatched, st.Prefetch.Consumed)
+	}
+}
+
+// restoreTwin runs one restore in the given mode and returns comparable
+// stats plus the restored bytes.
+func restoreTwin(t *testing.T, n *LNode, repo *core.Repo, fileID string, version int, legacy bool) (RestoreStats, []byte) {
+	t.Helper()
+	repo.Config.LegacyRestore = legacy
+	var buf bytes.Buffer
+	st, err := n.Restore(fileID, version, &buf)
+	if err != nil {
+		t.Fatalf("restore %s v%d (legacy=%v): %v", fileID, version, legacy, err)
+	}
+	return comparableRestore(st), buf.Bytes()
+}
+
+// TestRestoreTwinSerial pins the pipelined restore to the serial emit:
+// identical restored bytes and field-for-field identical stats (including
+// bit-identical virtual Elapsed) for every cache policy, with LAW
+// prefetching engaged for all of them. Run under -race by
+// scripts/check.sh, which also exercises the pipeline's concurrency.
+func TestRestoreTwinSerial(t *testing.T) {
+	cfg := testConfig()
+	// The node-wide shared cache would let each run warm the next one;
+	// twin runs must see identical reads, so disable it.
+	cfg.SharedCacheBytes = -1
+	n, repo := newNode(t, cfg)
+	defer n.Close()
+	v0 := genData(61, 3<<20)
+	versions := [][]byte{v0, mutate(v0, 62, 150)}
+	for i, d := range versions {
+		if _, err := n.Backup("twin", d); err != nil {
+			t.Fatalf("backup v%d: %v", i, err)
+		}
+	}
+
+	for _, policy := range restorePolicies {
+		t.Run(policy, func(t *testing.T) {
+			repo.Config.RestorePolicy = policy
+			for v := range versions {
+				fast, fastBytes := restoreTwin(t, n, repo, "twin", v, false)
+				serial, serialBytes := restoreTwin(t, n, repo, "twin", v, true)
+				if !bytes.Equal(fastBytes, versions[v]) {
+					t.Fatalf("v%d: pipelined restore corrupt", v)
+				}
+				if !bytes.Equal(fastBytes, serialBytes) {
+					t.Fatalf("v%d: pipelined and serial restores diverge", v)
+				}
+				if !reflect.DeepEqual(fast, serial) {
+					t.Errorf("v%d stats diverge:\nfast:   %+v\nserial: %+v", v, fast, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyTwinSerial is the same pin for Verify jobs, which add the
+// per-chunk fingerprint stage the pipeline fans out over the hash pool.
+// The verify worker count sweeps the three pool shapes: shared with the
+// ingest pool, dedicated, and inline on the verifier stage.
+func TestVerifyTwinSerial(t *testing.T) {
+	cfg := testConfig()
+	cfg.SharedCacheBytes = -1 // keep twin runs independent (see above)
+	n, repo := newNode(t, cfg)
+	defer n.Close()
+	data := genData(63, 3<<20)
+	if _, err := n.Backup("twin", data); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policy := range restorePolicies {
+		t.Run(policy, func(t *testing.T) {
+			repo.Config.RestorePolicy = policy
+			for _, workers := range []int{repo.Config.HashWorkers, 3, -1} {
+				repo.Config.VerifyWorkers = workers
+
+				repo.Config.LegacyRestore = false
+				fastSt, err := n.Verify("twin", 0)
+				if err != nil {
+					t.Fatalf("pipelined verify (W=%d): %v", workers, err)
+				}
+				prefetchConserved(t, fastSt)
+
+				repo.Config.LegacyRestore = true
+				serialSt, err := n.Verify("twin", 0)
+				if err != nil {
+					t.Fatalf("serial verify: %v", err)
+				}
+				fast, serial := comparableRestore(fastSt), comparableRestore(serialSt)
+				if !reflect.DeepEqual(fast, serial) {
+					t.Errorf("W=%d verify stats diverge:\nfast:   %+v\nserial: %+v", workers, fast, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreRangeTwinSerial pins the pipelined range restore (trimmed
+// pushes, no verification, strictly sequential virtual time) to the
+// serial emit across all policies and window shapes: chunk-unaligned
+// head, mid-chunk tail, single-byte, and to-end-of-file ranges.
+func TestRestoreRangeTwinSerial(t *testing.T) {
+	cfg := testConfig()
+	cfg.SharedCacheBytes = -1 // keep twin runs independent (see above)
+	n, repo := newNode(t, cfg)
+	defer n.Close()
+	data := genData(64, 3<<20)
+	if _, err := n.Backup("twin", data); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(data))
+	ranges := []struct {
+		off, length int64
+	}{
+		{0, 64 << 10},
+		{1234567, 300<<10 + 17},
+		{total / 2, 1},
+		{total - 5000, -1},
+	}
+
+	for _, policy := range restorePolicies {
+		t.Run(policy, func(t *testing.T) {
+			repo.Config.RestorePolicy = policy
+			for _, rg := range ranges {
+				end := total
+				if rg.length >= 0 && rg.off+rg.length < end {
+					end = rg.off + rg.length
+				}
+
+				repo.Config.LegacyRestore = false
+				var fastBuf bytes.Buffer
+				fastSt, err := n.RestoreRange("twin", 0, rg.off, rg.length, &fastBuf)
+				if err != nil {
+					t.Fatalf("pipelined range [%d,+%d): %v", rg.off, rg.length, err)
+				}
+
+				repo.Config.LegacyRestore = true
+				var serialBuf bytes.Buffer
+				serialSt, err := n.RestoreRange("twin", 0, rg.off, rg.length, &serialBuf)
+				if err != nil {
+					t.Fatalf("serial range [%d,+%d): %v", rg.off, rg.length, err)
+				}
+
+				if !bytes.Equal(fastBuf.Bytes(), data[rg.off:end]) {
+					t.Fatalf("range [%d,+%d): pipelined bytes wrong", rg.off, rg.length)
+				}
+				if !bytes.Equal(fastBuf.Bytes(), serialBuf.Bytes()) {
+					t.Fatalf("range [%d,+%d): pipelined and serial diverge", rg.off, rg.length)
+				}
+				fast, serial := comparableRestore(fastSt), comparableRestore(serialSt)
+				if !reflect.DeepEqual(fast, serial) {
+					t.Errorf("range [%d,+%d) stats diverge:\nfast:   %+v\nserial: %+v", rg.off, rg.length, fast, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestRestorePrefetchAllPolicies: the prefetcher must engage (dispatch
+// slots) for every policy, not just fv, and a prefetched restore's stats
+// must stay bit-identical to the unprefetched one apart from Elapsed
+// overlap — the prefetcher changes WHEN containers are read, never what
+// is charged.
+func TestRestorePrefetchAllPolicies(t *testing.T) {
+	data := genData(65, 3<<20)
+	for _, policy := range restorePolicies {
+		t.Run(policy, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.RestorePolicy = policy
+			cfg.SharedCacheBytes = -1 // keep the two runs independent
+			n, repo := newNode(t, cfg)
+			defer n.Close()
+			if _, err := n.Backup("f", data); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := n.Restore("f", 0, bytes.NewBuffer(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Prefetch.Dispatched+st.Prefetch.Direct == 0 {
+				t.Fatalf("policy %s saw no prefetch activity: %+v", policy, st.Prefetch)
+			}
+			prefetchConserved(t, st)
+
+			repo.Config.PrefetchThreads = 0
+			plain, err := n.Restore("f", 0, bytes.NewBuffer(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := comparableRestore(st), comparableRestore(plain)
+			a.Elapsed, b.Elapsed = 0, 0
+			a.PrefetchThreads, b.PrefetchThreads = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("prefetching changed restore stats:\nwith:    %+v\nwithout: %+v", a, b)
+			}
+			if st.Elapsed > plain.Elapsed {
+				t.Errorf("prefetched Elapsed %v exceeds unprefetched %v", st.Elapsed, plain.Elapsed)
+			}
+		})
+	}
+}
+
+// TestRestoreRunVerifyFailure exercises the pipeline's abort path
+// directly: a fingerprint mismatch must surface as the serial path's
+// verify error, leave no goroutines behind (the -race run doubles as the
+// leak check), and leave the pooled run reusable for the next restore.
+func TestRestoreRunVerifyFailure(t *testing.T) {
+	cfg := fastConfig()
+	n, repo := newNode(t, cfg)
+	defer n.Close()
+	data := genData(66, 1<<20)
+	chunks := chunker.SplitAll(data, repo.Cutter())
+	bufs := make([][]byte, len(chunks))
+	seq := make([]cache.Request, len(chunks))
+	for i, c := range chunks {
+		bufs[i] = c.Data
+		seq[i] = cache.Request{FP: fingerprint.Of(cfg.FingerprintAlg, c.Data), Size: uint32(len(c.Data))}
+	}
+	if got := n.RestoreHandoff(bufs, seq, true); got != len(chunks) {
+		t.Fatalf("clean handoff = %d, want %d", got, len(chunks))
+	}
+	seq[len(seq)/2].FP = fingerprint.FP{} // poison one chunk
+	if got := n.RestoreHandoff(bufs, seq, true); got != -1 {
+		t.Fatalf("poisoned handoff = %d, want failure", got)
+	}
+	// The run (and its channels) must have been recycled cleanly.
+	seq[len(seq)/2].FP = fingerprint.Of(cfg.FingerprintAlg, bufs[len(seq)/2])
+	if got := n.RestoreHandoff(bufs, seq, true); got != len(chunks) {
+		t.Fatalf("post-failure handoff = %d, want %d", got, len(chunks))
+	}
+}
+
+// TestRestoreHandoffAllocs is the steady-state allocation gate of the
+// restore fast path: the pooled slot hand-off (emit→verify→write over
+// recycled slots) must allocate at least 10x less per pass than the
+// naive per-chunk-copy hand-off.
+func TestRestoreHandoffAllocs(t *testing.T) {
+	cfg := fastConfig()
+	n, repo := newNode(t, cfg)
+	defer n.Close()
+	data := genData(67, 4<<20)
+	chunks := chunker.SplitAll(data, repo.Cutter())
+	bufs := make([][]byte, len(chunks))
+	seq := make([]cache.Request, len(chunks))
+	for i, c := range chunks {
+		bufs[i] = c.Data
+		seq[i] = cache.Request{FP: fingerprint.Of(cfg.FingerprintAlg, c.Data), Size: uint32(len(c.Data))}
+	}
+
+	// Pin the GC so sync.Pool contents survive the measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 3; i++ { // warm the slot/run pools and goroutine cache
+		if got := n.RestoreHandoff(bufs, seq, true); got != len(chunks) {
+			t.Fatalf("handoff produced %d chunks, want %d", got, len(chunks))
+		}
+	}
+	fast := testing.AllocsPerRun(10, func() { n.RestoreHandoff(bufs, seq, true) })
+	legacy := testing.AllocsPerRun(10, func() {
+		LegacyRestoreHandoff(cfg.FingerprintAlg, bufs, seq, true)
+	})
+
+	t.Logf("allocs/pass over %d chunks: fast=%.1f legacy=%.1f", len(chunks), fast, legacy)
+	if raceEnabled {
+		// Race instrumentation allocates shadow state per goroutine and
+		// channel op; the counts only mean anything uninstrumented.
+		t.Skip("allocation gate skipped under -race")
+	}
+	if fast > 8 {
+		t.Errorf("fast hand-off allocates %.1f/pass, want <= 8", fast)
+	}
+	if fast*10 > legacy {
+		t.Errorf("fast hand-off %.1f allocs/pass is not 10x below legacy %.1f", fast, legacy)
+	}
+}
+
+// handoffFixture splits data into the chunk payloads and expected-FP
+// sequence the hand-off probes consume.
+func handoffFixture(cfg core.Config, repo *core.Repo, data []byte) ([][]byte, []cache.Request) {
+	chunks := chunker.SplitAll(data, repo.Cutter())
+	bufs := make([][]byte, len(chunks))
+	seq := make([]cache.Request, len(chunks))
+	for i, c := range chunks {
+		bufs[i] = c.Data
+		seq[i] = cache.Request{FP: fingerprint.Of(cfg.FingerprintAlg, c.Data), Size: uint32(len(c.Data))}
+	}
+	return bufs, seq
+}
+
+func BenchmarkRestoreHandoff(b *testing.B) {
+	cfg := fastConfig()
+	repo, err := core.OpenRepo(oss.NewMem(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := New(repo, "l0")
+	defer n.Close()
+	data := genData(68, 8<<20)
+	bufs, seq := handoffFixture(cfg, repo, data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.RestoreHandoff(bufs, seq, true)
+	}
+}
+
+func BenchmarkLegacyRestoreHandoff(b *testing.B) {
+	cfg := fastConfig()
+	repo, err := core.OpenRepo(oss.NewMem(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := genData(68, 8<<20)
+	bufs, seq := handoffFixture(cfg, repo, data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LegacyRestoreHandoff(cfg.FingerprintAlg, bufs, seq, true)
+	}
+}

@@ -34,6 +34,7 @@ type restoreIO struct {
 
 	mu          sync.Mutex
 	plans       map[container.ID]cache.ReadPlan
+	spanned     []*container.Container // span-assembled partials (pooled payload buffers)
 	sharedHits  int
 	sharedJoins int
 	rangedReads int
@@ -68,10 +69,21 @@ func newRestoreIO(n *LNode, containers *container.Store, seq []cache.Request, me
 	return rio
 }
 
-// close releases the job's shared-cache references.
+// close releases the job's shared-cache references and returns the
+// span-assembled partial containers' payload buffers to the container
+// store's pool. Partial containers are scoped to this one job (never
+// shared node-wide), and close runs only after the restore pipeline and
+// prefetch workers have been joined, so nothing references the payloads.
 func (rio *restoreIO) close() {
 	if rio.session != nil {
 		rio.session.Close()
+	}
+	rio.mu.Lock()
+	spanned := rio.spanned
+	rio.spanned = nil
+	rio.mu.Unlock()
+	for _, c := range spanned {
+		rio.containers.Release(c)
 	}
 }
 
@@ -111,6 +123,7 @@ func (rio *restoreIO) fetch(id container.ID) (*container.Container, error) {
 			return nil, err
 		}
 		rio.mu.Lock()
+		rio.spanned = append(rio.spanned, c)
 		rio.rangedReads++
 		rio.rangedSpans += len(p.Spans)
 		rio.rangedBytes += p.SpanBytes

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Microbenchmark sweep over the hot primitives: chunker cutters,
-# fingerprint hashing, kvstore point/batch operations, and the ingest
-# fast-path hand-off. BENCHTIME overrides the per-benchmark budget
+# fingerprint hashing, kvstore point/batch operations, the restore cache
+# policies, and the ingest/restore fast-path hand-offs. BENCHTIME overrides the per-benchmark budget
 # (default 1s); check.sh runs this with BENCHTIME=1x as a
 # does-it-still-run smoke test.
 #
@@ -29,7 +29,8 @@ run '^BenchmarkCutters$' ./internal/chunker/
 run '^BenchmarkMetaFind$' ./internal/container/
 run '^BenchmarkFingerprint$' ./internal/fingerprint/
 run '^Benchmark(KVPut|KVGet|KVBatchPut|KVGetMulti)$' ./internal/kvstore/
-run '^Benchmark(IngestHandoff|LegacyHandoff|HashChunksCrossover)$' ./internal/lnode/
+run '^BenchmarkRestorePolicies$' ./internal/cache/
+run '^Benchmark(IngestHandoff|LegacyHandoff|HashChunksCrossover|RestoreHandoff|LegacyRestoreHandoff)$' ./internal/lnode/
 
 # Baseline compare: ns/op against scripts/bench_baseline.txt, joined on
 # benchmark name (GOMAXPROCS suffix stripped). Informational only.

@@ -39,6 +39,10 @@ BENCH_EC_OUT=/dev/null go run ./cmd/slimbench -exp ec >/dev/null
 # allocation counts, and streaming-residency row for BENCH_ingest.json.
 BENCH_INGEST_OUT=/dev/null go run ./cmd/slimbench -exp ingest >/dev/null
 
+# Restore fast-path experiment smoke: the serial-vs-pipelined twin sweep,
+# dense range-restore control, and residency row for BENCH_restorefast.json.
+BENCH_RESTOREFAST_OUT=/dev/null go run ./cmd/slimbench -exp restorefast >/dev/null
+
 # Fuzz smoke: seed corpora always run as part of `go test`; the short
 # -fuzz bursts below look for fresh counterexamples without blocking the
 # gate for long. FUZZTIME=0s skips the bursts (corpora still ran above).
